@@ -1,0 +1,154 @@
+// Command cfsmsim co-simulates a benchmark design under its generated
+// RTOS: software CFSMs execute on the cycle-accurate virtual CPU,
+// environment stimuli arrive on a cycle timeline, and the tool prints
+// the event trace summary, end-to-end latencies and CPU utilisation.
+//
+// Usage:
+//
+//	cfsmsim [-design dashboard|shock] [-target hc11|r3k]
+//	        [-until cycles] [-mode vm|behavioral] [-policy rr|prio]
+//	        [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"polis/internal/cfsm"
+	"polis/internal/designs"
+	"polis/internal/rtos"
+	"polis/internal/sgraph"
+	"polis/internal/sim"
+	"polis/internal/vm"
+)
+
+func main() {
+	design := flag.String("design", "dashboard", "benchmark design: dashboard or shock")
+	target := flag.String("target", "hc11", "cost profile: hc11 or r3k")
+	until := flag.Int64("until", 2_000_000, "simulation horizon in cycles")
+	mode := flag.String("mode", "vm", "software timing: vm (exact) or behavioral (estimated)")
+	policy := flag.String("policy", "rr", "scheduling policy: rr or prio")
+	trace := flag.Bool("trace", false, "dump the full event trace")
+	csvPath := flag.String("csv", "", "write the event trace as CSV to this file")
+	dot := flag.Bool("dot", false, "print the network topology in Graphviz format and exit")
+	flag.Parse()
+
+	var prof *vm.Profile
+	switch *target {
+	case "hc11":
+		prof = vm.HC11()
+	case "r3k":
+		prof = vm.R3K()
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+	opts := sim.Options{
+		Cfg:      rtos.DefaultConfig(),
+		Profile:  prof,
+		Ordering: sgraph.OrderSiftAfterSupport,
+	}
+	if *mode == "vm" {
+		opts.Mode = sim.VMExact
+	}
+	if *policy == "prio" {
+		opts.Cfg.Policy = rtos.StaticPriority
+	}
+
+	var net *cfsm.Network
+	var stimuli []sim.Stimulus
+	var pairs [][2]*cfsm.Signal
+	switch *design {
+	case "dashboard":
+		d := designs.NewDashboard()
+		net = d.Net
+		stimuli = append(stimuli, sim.Stimulus{Time: 1000, Signal: d.KeyOn})
+		stimuli = append(stimuli, sim.PeriodicStimuli(d.Tick, 2000, 10_000, *until, nil)...)
+		stimuli = append(stimuli, sim.PeriodicStimuli(d.WheelPulse, 3000, 40_000, *until,
+			func(i int) int64 { return int64(60 + i%20) })...)
+		stimuli = append(stimuli, sim.PeriodicStimuli(d.RPMPulse, 4000, 50_000, *until,
+			func(i int) int64 { return int64(15 + i%10) })...)
+		stimuli = append(stimuli, sim.PeriodicStimuli(d.FuelSample, 5000, 200_000, *until,
+			func(i int) int64 { return int64(50 - i) })...)
+		pairs = [][2]*cfsm.Signal{
+			{d.WheelPulse, d.SpeedDuty},
+			{d.RPMPulse, d.RPMDuty},
+			{d.FuelSample, d.FuelDuty},
+		}
+	case "shock":
+		s := designs.NewShockAbsorber()
+		net = s.Net
+		stimuli = append(stimuli, sim.PeriodicStimuli(s.AccelSample, 1000, 4000, *until,
+			func(i int) int64 { return int64(40 + (i%9)*9) })...)
+		stimuli = append(stimuli, sim.Stimulus{Time: 500, Signal: s.SpeedSample, Value: 95})
+		stimuli = append(stimuli, sim.PeriodicStimuli(s.Tick, 3000, 20_000, *until, nil)...)
+		stimuli = append(stimuli, sim.PeriodicStimuli(s.ActAck, 3500, 20_000, *until, nil)...)
+		pairs = [][2]*cfsm.Signal{{s.AccelSample, s.Solenoid}}
+	default:
+		fatal(fmt.Errorf("unknown design %q", *design))
+	}
+
+	if *dot {
+		fmt.Print(net.Dot())
+		return
+	}
+
+	res, err := sim.Run(net, stimuli, *until, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("simulated %d cycles (%.2f ms at %d kHz), CPU utilisation %.1f%%\n",
+		res.Cycles, float64(res.Cycles)/float64(prof.ClockKHz),
+		prof.ClockKHz, 100*res.System.Utilization())
+	fmt.Printf("software: %d code bytes, %d data bytes; %d scheduler calls, %d interrupts\n",
+		res.CodeBytes, res.DataBytes, res.System.ScheduleCalls, res.System.Interrupts)
+
+	counts := map[string]int{}
+	for _, e := range res.Trace {
+		if e.From != "env" && e.From != "poll" {
+			counts[e.Signal.Name]++
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("emissions:")
+	for _, n := range names {
+		fmt.Printf("  %-14s %6d\n", n, counts[n])
+	}
+	for _, pr := range pairs {
+		lat := sim.MaxLatency(res.Trace, pr[0], pr[1])
+		fmt.Printf("max latency %s -> %s: %d cycles\n", pr[0].Name, pr[1].Name, lat)
+	}
+	fmt.Println("task statistics:")
+	for _, t := range res.System.Tasks {
+		fmt.Printf("  %-14s executions %6d  fired %6d  lost events %4d\n",
+			t.M.Name, t.Executions, t.Fired, t.Lost)
+	}
+	if *trace {
+		fmt.Println("trace:")
+		for _, e := range res.Trace {
+			fmt.Printf("  %10d  %-14s value %6d  from %s\n", e.Time, e.Signal.Name, e.Value, e.From)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := sim.WriteTraceCSV(f, res.Trace); err != nil {
+			fatal(err)
+		}
+		fmt.Println("trace written to", *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfsmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command polisc is the synthesis driver: it compiles an
+// Esterel-subset module (see internal/esterel) into C and virtual
+// object code, printing the cost/performance report the POLIS flow
+// uses for partitioning decisions.
+//
+// Usage:
+//
+//	polisc [-target hc11|r3k] [-order default|naive|inputs-first]
+//	       [-c] [-asm] [-dot] [-optimize-copies] [-o dir] [file.strl]
+//
+// A source file may contain several modules: same-named signals
+// connect them into a network, each module is synthesized separately
+// and the generated RTOS is sized for the whole system. With no file,
+// the paper's Fig. 1 module is synthesized as a demo. With -o, the
+// generated C sources (one per module, plus polis_rtos.h and the RTOS)
+// are written into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"polis"
+	"polis/internal/codegen"
+	"polis/internal/esterel"
+	"polis/internal/estimate"
+	"polis/internal/rtos"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+const demo = `
+module simple: % the paper's Fig. 1 example
+input c : integer;
+output y;
+var a : integer in
+loop
+  await c;
+  if a = ?c then a := 0; emit y;
+  else a := a + 1;
+  end if
+end loop
+end var
+end module
+`
+
+func main() {
+	target := flag.String("target", "hc11", "cost profile: hc11 or r3k")
+	order := flag.String("order", "default", "variable ordering: default, naive, inputs-first")
+	emitC := flag.Bool("c", false, "print the generated C")
+	emitAsm := flag.Bool("asm", false, "print the object-code listing")
+	emitDot := flag.Bool("dot", false, "print the s-graph in Graphviz format")
+	optCopies := flag.Bool("optimize-copies", false, "apply the write-before-read copy analysis")
+	outDir := flag.String("o", "", "write generated C sources into this directory")
+	showParams := flag.Bool("params", false, "print the calibrated cost parameters and exit")
+	flag.Parse()
+
+	src := demo
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	opt := polis.Options{}
+	switch *target {
+	case "hc11":
+		opt.Target = vm.HC11()
+	case "r3k":
+		opt.Target = vm.R3K()
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+	switch *order {
+	case "default":
+		opt.Ordering = sgraph.OrderSiftAfterSupport
+	case "naive":
+		opt.Ordering = sgraph.OrderNaive
+	case "inputs-first":
+		opt.Ordering = sgraph.OrderSiftInputsFirst
+	default:
+		fatal(fmt.Errorf("unknown ordering %q", *order))
+	}
+	opt.Codegen.OptimizeCopies = *optCopies
+
+	if *showParams {
+		fmt.Print(estimate.Calibrate(opt.Target).Format())
+		return
+	}
+
+	net, machines, err := esterel.CompileProgram(src)
+	if err != nil {
+		fatal(err)
+	}
+	var sources []namedSource
+	var totalCode int64
+	for _, m := range net.Machines {
+		art, err := polis.Synthesize(machines[m.Name], opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(art.Report(opt.Target))
+		totalCode += int64(art.CodeSize)
+		sources = append(sources, namedSource{m.Name + ".c", art.C})
+		if *emitC {
+			fmt.Println("\n----- generated C -----")
+			fmt.Print(art.C)
+		}
+		if *emitAsm {
+			fmt.Println("\n----- object code -----")
+			fmt.Print(art.Listing)
+		}
+		if *emitDot {
+			fmt.Println("\n----- s-graph -----")
+			fmt.Print(art.SGraph.Dot())
+		}
+		fmt.Println()
+	}
+	rtosSrc, size, err := polis.GenerateRTOS(net, rtos.DefaultConfig(), opt.Target)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("system: %d module(s), %d bytes of task code, RTOS %d bytes ROM / %d bytes RAM\n",
+		len(net.Machines), totalCode, size.CodeBytes, size.DataBytes)
+	sources = append(sources,
+		namedSource{"polis_rtos.h", codegen.RTOSHeader()},
+		namedSource{"rtos.c", rtosSrc})
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, sf := range sources {
+			path := filepath.Join(*outDir, sf.name)
+			if err := os.WriteFile(path, []byte(sf.text), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}
+
+type namedSource struct {
+	name string
+	text string
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "polisc:", err)
+	os.Exit(1)
+}

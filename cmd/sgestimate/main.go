@@ -1,0 +1,81 @@
+// Command sgestimate prints the Table I style cost/performance report:
+// the s-graph estimator's code size and min/max cycles for every
+// module of a benchmark design, next to exact measurements of the
+// compiled object code.
+//
+// Usage:
+//
+//	sgestimate [-target hc11|r3k] [-design dashboard|shock]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polis/internal/cfsm"
+	"polis/internal/codegen"
+	"polis/internal/designs"
+	"polis/internal/estimate"
+	"polis/internal/experiments"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+func main() {
+	target := flag.String("target", "hc11", "cost profile: hc11 or r3k")
+	design := flag.String("design", "dashboard", "benchmark design: dashboard or shock")
+	flag.Parse()
+
+	var prof *vm.Profile
+	switch *target {
+	case "hc11":
+		prof = vm.HC11()
+	case "r3k":
+		prof = vm.R3K()
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+
+	switch *design {
+	case "dashboard":
+		rows, err := experiments.Table1(prof)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatTable1(prof, rows))
+	case "shock":
+		s := designs.NewShockAbsorber()
+		params := estimate.Calibrate(prof)
+		fmt.Printf("Cost/performance estimation, shock absorber, target %s\n", prof.Name)
+		fmt.Printf("%-16s %9s %9s %9s %9s\n", "CFSM", "est size", "act size", "est max", "act max")
+		for _, m := range s.Modules() {
+			r, err := cfsm.BuildReactive(m)
+			if err != nil {
+				fatal(err)
+			}
+			g, err := sgraph.Build(r, sgraph.OrderSiftAfterSupport)
+			if err != nil {
+				fatal(err)
+			}
+			p, err := codegen.Assemble(g, codegen.NewSignalMap(m), codegen.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			est := estimate.EstimateSGraph(g, params, estimate.Options{})
+			act, err := vm.AnalyzeCycles(prof, p, codegen.EntryLabel(m))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-16s %9d %9d %9d %9d\n",
+				m.Name, est.CodeBytes, prof.CodeSize(p), est.MaxCycles, act.Max)
+		}
+	default:
+		fatal(fmt.Errorf("unknown design %q", *design))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sgestimate:", err)
+	os.Exit(1)
+}

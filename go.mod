@@ -1,0 +1,3 @@
+module polis
+
+go 1.22

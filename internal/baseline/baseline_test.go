@@ -1,0 +1,364 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"polis/internal/cfsm"
+	"polis/internal/codegen"
+	"polis/internal/expr"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+// pipelineNet is a three-stage network: a filter scales an input
+// sample, a threshold stage raises an internal alarm event, and an
+// alarm manager latches it until reset.
+func pipelineNet() (*cfsm.Network, *cfsm.Signal, *cfsm.Signal, *cfsm.Signal, *cfsm.Signal) {
+	n := cfsm.NewNetwork("pipe")
+	sample := n.NewSignal("sample", false) // primary in, valued
+	reset := n.NewSignal("reset", true)    // primary in, pure
+	level := n.NewSignal("level", false)   // internal, valued
+	alarm := n.NewSignal("alarm", true)    // internal, pure
+	out := n.NewSignal("out", false)       // primary out, valued
+	buzz := n.NewSignal("buzz", true)      // primary out, pure
+
+	filter := cfsm.New("filter")
+	filter.AttachInput(sample)
+	filter.AttachOutput(level)
+	fp := filter.Present(sample)
+	filter.AddTransition([]cfsm.Cond{cfsm.On(fp, 1)},
+		filter.EmitV(level, expr.Mul(expr.V("?sample"), expr.C(2))))
+
+	thresh := cfsm.New("thresh")
+	thresh.AttachInput(level)
+	thresh.AttachOutput(alarm)
+	thresh.AttachOutput(out)
+	tp := thresh.Present(level)
+	hi := thresh.Pred(expr.Gt(expr.V("?level"), expr.C(6)))
+	thresh.AddTransition([]cfsm.Cond{cfsm.On(tp, 1), cfsm.On(hi, 1)},
+		thresh.Emit(alarm), thresh.EmitV(out, expr.V("?level")))
+	thresh.AddTransition([]cfsm.Cond{cfsm.On(tp, 1), cfsm.On(hi, 0)},
+		thresh.EmitV(out, expr.V("?level")))
+
+	mgr := cfsm.New("mgr")
+	mgr.AttachInput(alarm)
+	mgr.AttachInput(reset)
+	mgr.AttachOutput(buzz)
+	latched := mgr.AddState("latched", 2, 0)
+	ap := mgr.Present(alarm)
+	rp := mgr.Present(reset)
+	sel := mgr.Sel(latched)
+	mgr.AddTransition([]cfsm.Cond{cfsm.On(rp, 1), cfsm.On(sel, 1)},
+		mgr.Assign(latched, expr.C(0)))
+	mgr.AddTransition([]cfsm.Cond{cfsm.On(rp, 0), cfsm.On(ap, 1), cfsm.On(sel, 0)},
+		mgr.Assign(latched, expr.C(1)), mgr.Emit(buzz))
+
+	if err := n.Add(filter); err != nil {
+		panic(err)
+	}
+	if err := n.Add(thresh); err != nil {
+		panic(err)
+	}
+	if err := n.Add(mgr); err != nil {
+		panic(err)
+	}
+	return n, sample, reset, out, buzz
+}
+
+func sortedEmNames(ems []cfsm.Emission) []string {
+	out := make([]string, len(ems))
+	for i, e := range ems {
+		out[i] = e.Signal.Name + ":" + string(rune('0'+e.Value%64))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestNetworkHelpers(t *testing.T) {
+	n, sample, reset, out, buzz := pipelineNet()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pin := n.PrimaryInputs()
+	if len(pin) != 2 {
+		t.Errorf("primary inputs: %v", pin)
+	}
+	pout := n.PrimaryOutputs()
+	if len(pout) != 2 {
+		t.Errorf("primary outputs: %v", pout)
+	}
+	if len(n.InternalSignals()) != 2 {
+		t.Errorf("internal: %v", n.InternalSignals())
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, m := range order {
+		pos[m.Name] = i
+	}
+	if !(pos["filter"] < pos["thresh"] && pos["thresh"] < pos["mgr"]) {
+		t.Errorf("topo order wrong: %v", pos)
+	}
+	_ = sample
+	_ = reset
+	_ = out
+	_ = buzz
+}
+
+func TestTopoDetectsCycle(t *testing.T) {
+	n := cfsm.NewNetwork("cyc")
+	a := n.NewSignal("a", true)
+	b := n.NewSignal("b", true)
+	m1 := cfsm.New("m1")
+	m1.AttachInput(a)
+	m1.AttachOutput(b)
+	p1 := m1.Present(a)
+	m1.AddTransition([]cfsm.Cond{cfsm.On(p1, 1)}, m1.Emit(b))
+	m2 := cfsm.New("m2")
+	m2.AttachInput(b)
+	m2.AttachOutput(a)
+	p2 := m2.Present(b)
+	m2.AddTransition([]cfsm.Cond{cfsm.On(p2, 1)}, m2.Emit(a))
+	if err := n.Add(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(m2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.TopoOrder(); err == nil {
+		t.Error("causality cycle must be detected")
+	}
+}
+
+func TestSingleFSMEquivalentToSyncReference(t *testing.T) {
+	n, sample, reset, _, _ := pipelineNet()
+	prod, err := SingleFSM(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run both for many random ticks and compare primary outputs and
+	// state evolution.
+	rng := rand.New(rand.NewSource(41))
+	refState := InitialNetState(n)
+	prodSnap := prod.NewSnapshot()
+	for tick := 0; tick < 500; tick++ {
+		present := map[*cfsm.Signal]bool{}
+		values := map[*cfsm.Signal]int64{}
+		if rng.Intn(2) == 1 {
+			present[sample] = true
+			values[sample] = int64(rng.Intn(8))
+		}
+		if rng.Intn(4) == 0 {
+			present[reset] = true
+		}
+
+		refOut := SyncTick(n, order, refState, present, values)
+
+		prodSnap.Present = present
+		prodSnap.Values = values
+		r := prod.React(prodSnap)
+		prodSnap.State = r.NextState
+
+		a := sortedEmNames(refOut)
+		b := sortedEmNames(r.Emitted)
+		if len(a) != len(b) {
+			t.Fatalf("tick %d: outputs %v vs %v", tick, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("tick %d: outputs %v vs %v", tick, a, b)
+			}
+		}
+		// Product state mirrors the reference state by variable name.
+		for sv, val := range refState {
+			for _, psv := range prod.States {
+				if psv.Name == sv.Name && prodSnap.State[psv] != val {
+					t.Fatalf("tick %d: state %s: ref %d vs prod %d",
+						tick, sv.Name, val, prodSnap.State[psv])
+				}
+			}
+		}
+	}
+}
+
+func TestSingleFSMBlowsUp(t *testing.T) {
+	// The product has (roughly) the product of per-machine choices:
+	// far more transitions than the sum of the parts.
+	n, _, _, _, _ := pipelineNet()
+	prod, err := SingleFSM(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, m := range n.Machines {
+		sum += len(m.Trans)
+	}
+	if len(prod.Trans) <= sum {
+		t.Errorf("product has %d transitions, parts sum to %d: expected blow-up",
+			len(prod.Trans), sum)
+	}
+}
+
+func TestSingleFSMCodegen(t *testing.T) {
+	// The product must flow through the standard synthesis path.
+	n, _, _, _, _ := pipelineNet()
+	prod, err := SingleFSM(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cfsm.BuildReactive(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sgraph.Build(r, sgraph.OrderSiftAfterSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Assemble(g, codegen.NewSignalMap(prod), codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.HC11().CodeSize(p) <= 0 {
+		t.Error("empty product program")
+	}
+}
+
+func twoLevelCFSM() *cfsm.CFSM {
+	c := cfsm.New("belt")
+	key := c.AddInput("key_on", true)
+	belt := c.AddInput("belt_on", true)
+	end := c.AddInput("end_t", true)
+	alarm := c.AddOutput("alarm", true)
+	st := c.AddState("bst", 3, 0)
+	pk, pb, pe := c.Present(key), c.Present(belt), c.Present(end)
+	sel := c.Sel(st)
+	// 0=idle, 1=waiting, 2=alarming
+	c.AddTransition([]cfsm.Cond{cfsm.On(sel, 0), cfsm.On(pk, 1), cfsm.On(pb, 0)},
+		c.Assign(st, expr.C(1)))
+	c.AddTransition([]cfsm.Cond{cfsm.On(sel, 1), cfsm.On(pb, 1)},
+		c.Assign(st, expr.C(0)))
+	c.AddTransition([]cfsm.Cond{cfsm.On(sel, 1), cfsm.On(pb, 0), cfsm.On(pe, 1)},
+		c.Assign(st, expr.C(2)), c.Emit(alarm))
+	c.AddTransition([]cfsm.Cond{cfsm.On(sel, 2), cfsm.On(pb, 1)},
+		c.Assign(st, expr.C(0)))
+	return c
+}
+
+func TestTwoLevelJumpEquiv(t *testing.T) {
+	c := twoLevelCFSM()
+	sigs := codegen.NewSignalMap(c)
+	p, err := TwoLevelJump(c, sigs, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := vm.HC11()
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 300; i++ {
+		snap := c.NewSnapshot()
+		for _, in := range c.Inputs {
+			snap.Present[in] = rng.Intn(2) == 1
+		}
+		for _, sv := range c.States {
+			snap.State[sv] = int64(rng.Intn(sv.Domain))
+		}
+		want := c.React(snap)
+
+		h := newSnapHost(sigs, snap)
+		m := vm.NewMachine(prof, p.Words, h)
+		for _, sv := range c.States {
+			m.Mem[p.Symbols["st_"+sv.Name]] = snap.State[sv]
+		}
+		if _, err := m.Run(p, codegen.EntryLabel(c)); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if len(h.emitted) != len(want.Emitted) {
+			t.Fatalf("iter %d: emissions %v vs %v", i, h.emitted, want.Emitted)
+		}
+		for _, sv := range c.States {
+			if m.Mem[p.Symbols["st_"+sv.Name]] != want.NextState[sv] {
+				t.Fatalf("iter %d: state mismatch", i)
+			}
+		}
+	}
+}
+
+func TestTwoLevelVsSGraphSizes(t *testing.T) {
+	// Table II's qualitative ordering: two-level jump bigger than the
+	// sifted decision graph.
+	c := twoLevelCFSM()
+	sigs := codegen.NewSignalMap(c)
+	two, err := TwoLevelJump(c, sigs, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cfsm.BuildReactive(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sgraph.Build(r, sgraph.OrderSiftAfterSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := codegen.Assemble(g, sigs, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := vm.HC11()
+	if prof.CodeSize(two) <= prof.CodeSize(tree) {
+		t.Errorf("two-level (%d B) should exceed sifted decision graph (%d B)",
+			prof.CodeSize(two), prof.CodeSize(tree))
+	}
+}
+
+func TestTwoLevelRejectsTooManyTests(t *testing.T) {
+	c := cfsm.New("wide")
+	o := c.AddOutput("o", true)
+	var conds []cfsm.Cond
+	for i := 0; i < 14; i++ {
+		in := c.AddInput(string(rune('a'+i)), true)
+		conds = append(conds, cfsm.On(c.Present(in), 1))
+	}
+	c.AddTransition(conds, c.Emit(o))
+	if _, err := TwoLevelJump(c, codegen.NewSignalMap(c), codegen.Options{}); err == nil {
+		t.Error("14 boolean tests must be rejected")
+	}
+}
+
+// snapHost mirrors the codegen test host.
+type snapHost struct {
+	byID    map[int]*cfsm.Signal
+	snap    cfsm.Snapshot
+	emitted []cfsm.Emission
+}
+
+func newSnapHost(sigs codegen.SignalMap, snap cfsm.Snapshot) *snapHost {
+	h := &snapHost{byID: make(map[int]*cfsm.Signal), snap: snap}
+	for s, id := range sigs {
+		h.byID[id] = s
+	}
+	return h
+}
+
+func (h *snapHost) Present(sig int) bool { return h.snap.Present[h.byID[sig]] }
+func (h *snapHost) Value(sig int) int64  { return h.snap.Values[h.byID[sig]] }
+func (h *snapHost) Emit(sig int) {
+	h.emitted = append(h.emitted, cfsm.Emission{Signal: h.byID[sig]})
+}
+func (h *snapHost) EmitValue(sig int, v int64) {
+	h.emitted = append(h.emitted, cfsm.Emission{Signal: h.byID[sig], Value: v})
+}

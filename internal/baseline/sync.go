@@ -1,0 +1,77 @@
+package baseline
+
+import "polis/internal/cfsm"
+
+// NetState is the combined state of all machines in a network, used by
+// the synchronous reference interpreter.
+type NetState map[*cfsm.StateVar]int64
+
+// InitialNetState returns every machine's state variables at their
+// initial values.
+func InitialNetState(n *cfsm.Network) NetState {
+	st := make(NetState)
+	for _, m := range n.Machines {
+		for _, sv := range m.States {
+			st[sv] = sv.Init
+		}
+	}
+	return st
+}
+
+// SyncTick executes one synchronous tick of the network: machines
+// react in topological order, internal events emitted in the tick are
+// visible (with their values) to downstream readers within the same
+// tick, and primary outputs are collected. This is the reference
+// semantics of the single-FSM composition; the machines slice must be
+// a topological order (see Network.TopoOrder).
+func SyncTick(n *cfsm.Network, order []*cfsm.CFSM, st NetState,
+	present map[*cfsm.Signal]bool, values map[*cfsm.Signal]int64) []cfsm.Emission {
+
+	internal := make(map[*cfsm.Signal]bool)
+	for _, s := range n.InternalSignals() {
+		internal[s] = true
+	}
+	tickPresent := make(map[*cfsm.Signal]bool, len(present))
+	tickValues := make(map[*cfsm.Signal]int64, len(values))
+	for s, p := range present {
+		tickPresent[s] = p
+	}
+	for s, v := range values {
+		tickValues[s] = v
+	}
+	var outputs []cfsm.Emission
+	for _, m := range order {
+		snap := cfsm.Snapshot{
+			Present: make(map[*cfsm.Signal]bool),
+			Values:  make(map[*cfsm.Signal]int64),
+			State:   make(map[*cfsm.StateVar]int64),
+		}
+		any := false
+		for _, in := range m.Inputs {
+			if tickPresent[in] {
+				snap.Present[in] = true
+				snap.Values[in] = tickValues[in]
+				any = true
+			}
+		}
+		for _, sv := range m.States {
+			snap.State[sv] = st[sv]
+		}
+		if !any {
+			continue
+		}
+		r := m.React(snap)
+		for _, sv := range m.States {
+			st[sv] = r.NextState[sv]
+		}
+		for _, em := range r.Emitted {
+			if internal[em.Signal] {
+				tickPresent[em.Signal] = true
+				tickValues[em.Signal] = em.Value
+			} else {
+				outputs = append(outputs, em)
+			}
+		}
+	}
+	return outputs
+}

@@ -1,0 +1,374 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) in the style of Bryant, with the operations the POLIS
+// software-synthesis flow needs: ITE, cofactoring, existential
+// quantification (smoothing), support computation, and dynamic
+// variable reordering by sifting (Rudell) with precedence constraints
+// and variable groups.
+//
+// Nodes are identified by small integer handles into an arena owned by
+// a Manager. Handle 0 is the constant false, handle 1 the constant
+// true. The diagrams are strongly canonical: two handles are equal if
+// and only if the functions they denote are equal (under the current
+// variable order). In-place adjacent-level swaps preserve the function
+// denoted by every handle, so handles remain valid across reordering.
+package bdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a handle to a BDD node within a Manager.
+type Node int32
+
+// Var identifies a BDD variable. Variables are created in sequence by
+// NewVar; their position in the order is a separate notion (a level)
+// that reordering may change.
+type Var int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// IsConst reports whether n is one of the two terminal nodes.
+func (n Node) IsConst() bool { return n == False || n == True }
+
+type node struct {
+	v    Var // variable label; -1 for terminals
+	lo   Node
+	hi   Node
+	mark bool // GC mark bit
+	dead bool // on the free list
+}
+
+// Manager owns a collection of BDD nodes sharing one variable order.
+type Manager struct {
+	nodes  []node
+	unique []map[uint64]Node // per-variable unique tables, indexed by Var
+	free   []Node            // recycled arena slots
+
+	perm    []int // Var -> level
+	invperm []Var // level -> Var
+	names   []string
+
+	group []int32 // Var -> group id (contiguous block of levels)
+
+	ite   map[iteKey]Node
+	roots map[Node]int // protected external references
+
+	// Stats
+	GCs    int
+	Swaps  int
+	Hits   int
+	Misses int
+}
+
+type iteKey struct{ f, g, h Node }
+
+// New creates an empty manager with no variables.
+func New() *Manager {
+	m := &Manager{
+		ite:   make(map[iteKey]Node),
+		roots: make(map[Node]int),
+	}
+	// Terminals occupy slots 0 and 1.
+	m.nodes = append(m.nodes, node{v: -1}, node{v: -1})
+	return m
+}
+
+// NumVars returns the number of variables created so far.
+func (m *Manager) NumVars() int { return len(m.perm) }
+
+// NumNodes returns the number of live nodes in the arena, including
+// the two terminals.
+func (m *Manager) NumNodes() int { return len(m.nodes) - len(m.free) }
+
+// NewVar creates a fresh variable placed at the bottom of the current
+// order. The name is only used for diagnostics.
+func (m *Manager) NewVar(name string) Var {
+	v := Var(len(m.perm))
+	m.perm = append(m.perm, len(m.perm))
+	m.invperm = append(m.invperm, v)
+	m.unique = append(m.unique, make(map[uint64]Node))
+	m.names = append(m.names, name)
+	m.group = append(m.group, int32(v)) // singleton group
+	return v
+}
+
+// VarName returns the diagnostic name given to v at creation.
+func (m *Manager) VarName(v Var) string { return m.names[v] }
+
+// Level returns the current position of v in the variable order
+// (0 is the top).
+func (m *Manager) Level(v Var) int { return m.perm[v] }
+
+// VarAt returns the variable currently at the given level.
+func (m *Manager) VarAt(level int) Var { return m.invperm[level] }
+
+// levelOf returns the order level of the labelling variable of n, or a
+// value larger than any level for terminals.
+func (m *Manager) levelOf(n Node) int {
+	v := m.nodes[n].v
+	if v < 0 {
+		return int(^uint(0) >> 1) // max int
+	}
+	return m.perm[v]
+}
+
+// VarOf returns the labelling variable of a non-terminal node.
+func (m *Manager) VarOf(n Node) Var {
+	if n.IsConst() {
+		panic("bdd: VarOf on terminal")
+	}
+	return m.nodes[n].v
+}
+
+// LowHigh returns the two cofactor children of a non-terminal node.
+func (m *Manager) LowHigh(n Node) (lo, hi Node) {
+	if n.IsConst() {
+		panic("bdd: LowHigh on terminal")
+	}
+	nd := &m.nodes[n]
+	return nd.lo, nd.hi
+}
+
+func pairKey(lo, hi Node) uint64 { return uint64(uint32(lo))<<32 | uint64(uint32(hi)) }
+
+// mk returns the canonical node (v, lo, hi), creating it if necessary.
+// The children must be labelled by variables strictly below v in the
+// current order.
+func (m *Manager) mk(v Var, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	tbl := m.unique[v]
+	k := pairKey(lo, hi)
+	if n, ok := tbl[k]; ok {
+		return n
+	}
+	var n Node
+	if len(m.free) > 0 {
+		n = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		m.nodes[n] = node{v: v, lo: lo, hi: hi}
+	} else {
+		n = Node(len(m.nodes))
+		m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
+	}
+	tbl[k] = n
+	return n
+}
+
+// VarNode returns the function that is true exactly when v is true.
+func (m *Manager) VarNode(v Var) Node { return m.mk(v, False, True) }
+
+// NVarNode returns the function that is true exactly when v is false.
+func (m *Manager) NVarNode(v Var) Node { return m.mk(v, True, False) }
+
+// Protect registers n as an external root so garbage collection and
+// reordering keep it (and everything it reaches) alive. Calls nest.
+func (m *Manager) Protect(n Node) Node {
+	m.roots[n]++
+	return n
+}
+
+// Unprotect removes one protection registration added by Protect.
+func (m *Manager) Unprotect(n Node) {
+	if c := m.roots[n]; c > 1 {
+		m.roots[n] = c - 1
+	} else {
+		delete(m.roots, n)
+	}
+}
+
+// GC reclaims nodes not reachable from protected roots. The operation
+// cache is flushed. Handles of collected nodes become invalid.
+func (m *Manager) GC() {
+	m.GCs++
+	for r := range m.roots {
+		m.markRec(r)
+	}
+	m.ite = make(map[iteKey]Node)
+	m.free = m.free[:0]
+	for i := 2; i < len(m.nodes); i++ {
+		nd := &m.nodes[i]
+		if nd.dead {
+			m.free = append(m.free, Node(i))
+			continue
+		}
+		if nd.mark {
+			nd.mark = false
+			continue
+		}
+		delete(m.unique[nd.v], pairKey(nd.lo, nd.hi))
+		nd.dead = true
+		m.free = append(m.free, Node(i))
+	}
+}
+
+func (m *Manager) markRec(n Node) {
+	if n.IsConst() {
+		return
+	}
+	nd := &m.nodes[n]
+	if nd.mark {
+		return
+	}
+	nd.mark = true
+	m.markRec(nd.lo)
+	m.markRec(nd.hi)
+}
+
+// Size returns the number of non-terminal nodes reachable from the
+// given roots (shared nodes counted once).
+func (m *Manager) Size(roots ...Node) int {
+	seen := make(map[Node]bool)
+	var count func(n Node)
+	count = func(n Node) {
+		if n.IsConst() || seen[n] {
+			return
+		}
+		seen[n] = true
+		nd := &m.nodes[n]
+		count(nd.lo)
+		count(nd.hi)
+	}
+	for _, r := range roots {
+		count(r)
+	}
+	return len(seen)
+}
+
+// Eval evaluates the function denoted by n under the given assignment.
+func (m *Manager) Eval(n Node, assign func(Var) bool) bool {
+	for !n.IsConst() {
+		nd := &m.nodes[n]
+		if assign(nd.v) {
+			n = nd.hi
+		} else {
+			n = nd.lo
+		}
+	}
+	return n == True
+}
+
+// Support returns the variables the function denoted by n essentially
+// depends on, in increasing Var order.
+func (m *Manager) Support(n Node) []Var {
+	seen := make(map[Node]bool)
+	vars := make(map[Var]bool)
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n.IsConst() || seen[n] {
+			return
+		}
+		seen[n] = true
+		nd := &m.nodes[n]
+		vars[nd.v] = true
+		walk(nd.lo)
+		walk(nd.hi)
+	}
+	walk(n)
+	out := make([]Var, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders a small diagram as nested ITE expressions, for
+// debugging and tests.
+func (m *Manager) String(n Node) string {
+	var b strings.Builder
+	var rec func(n Node)
+	rec = func(n Node) {
+		switch n {
+		case False:
+			b.WriteString("0")
+		case True:
+			b.WriteString("1")
+		default:
+			nd := &m.nodes[n]
+			fmt.Fprintf(&b, "ite(%s,", m.names[nd.v])
+			rec(nd.hi)
+			b.WriteString(",")
+			rec(nd.lo)
+			b.WriteString(")")
+		}
+	}
+	rec(n)
+	return b.String()
+}
+
+// CheckInvariants verifies structural invariants of the manager:
+// reducedness (no node with lo==hi), ordering (children strictly below
+// parents), and unique-table consistency. It is used by tests and
+// returns a descriptive error on the first violation found.
+func (m *Manager) CheckInvariants() error {
+	for i := 2; i < len(m.nodes); i++ {
+		nd := &m.nodes[i]
+		if nd.dead {
+			continue
+		}
+		if nd.lo == nd.hi {
+			return fmt.Errorf("node %d: lo == hi (%d)", i, nd.lo)
+		}
+		if m.levelOf(nd.lo) <= m.perm[nd.v] || m.levelOf(nd.hi) <= m.perm[nd.v] {
+			return fmt.Errorf("node %d (var %s level %d): child above or at own level", i, m.names[nd.v], m.perm[nd.v])
+		}
+		got, ok := m.unique[nd.v][pairKey(nd.lo, nd.hi)]
+		if !ok || got != Node(i) {
+			return fmt.Errorf("node %d: unique table entry missing or wrong (%d)", i, got)
+		}
+	}
+	for v, tbl := range m.unique {
+		for k, n := range tbl {
+			nd := &m.nodes[n]
+			if nd.dead {
+				return fmt.Errorf("unique[%d] holds dead node %d", v, n)
+			}
+			if nd.v != Var(v) || pairKey(nd.lo, nd.hi) != k {
+				return fmt.Errorf("unique[%d] entry inconsistent for node %d", v, n)
+			}
+		}
+	}
+	// Order permutation consistency.
+	for v, lvl := range m.perm {
+		if m.invperm[lvl] != Var(v) {
+			return fmt.Errorf("perm/invperm inconsistent at var %d", v)
+		}
+	}
+	return nil
+}
+
+// Dot renders the diagrams rooted at the given nodes in Graphviz
+// format, one rank per variable level, for inspection and debugging.
+func (m *Manager) Dot(roots ...Node) string {
+	var b strings.Builder
+	b.WriteString("digraph bdd {\n  rankdir=TB;\n")
+	b.WriteString("  n0 [label=\"0\", shape=box];\n  n1 [label=\"1\", shape=box];\n")
+	seen := map[Node]bool{False: true, True: true}
+	var walk func(n Node)
+	walk = func(n Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		nd := &m.nodes[n]
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n, m.names[nd.v])
+		fmt.Fprintf(&b, "  n%d -> n%d [style=dashed];\n", n, nd.lo)
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", n, nd.hi)
+		walk(nd.lo)
+		walk(nd.hi)
+	}
+	for i, r := range roots {
+		fmt.Fprintf(&b, "  root%d [label=\"f%d\", shape=plaintext];\n  root%d -> n%d;\n", i, i, i, r)
+		walk(r)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,297 @@
+package bdd
+
+// Ite computes if-then-else: f ? g : h. It is the universal binary
+// operation from which all two-argument Boolean connectives derive.
+func (m *Manager) Ite(f, g, h Node) Node {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	k := iteKey{f, g, h}
+	if r, ok := m.ite[k]; ok {
+		m.Hits++
+		return r
+	}
+	m.Misses++
+	// Split on the top variable among f, g, h.
+	lvl := m.levelOf(f)
+	if l := m.levelOf(g); l < lvl {
+		lvl = l
+	}
+	if l := m.levelOf(h); l < lvl {
+		lvl = l
+	}
+	v := m.invperm[lvl]
+	f0, f1 := m.cofactorsAt(f, v)
+	g0, g1 := m.cofactorsAt(g, v)
+	h0, h1 := m.cofactorsAt(h, v)
+	lo := m.Ite(f0, g0, h0)
+	hi := m.Ite(f1, g1, h1)
+	r := m.mk(v, lo, hi)
+	m.ite[k] = r
+	return r
+}
+
+// cofactorsAt returns the two cofactors of n with respect to v when v
+// is at or above n's top level; if n does not test v the cofactors are
+// n itself.
+func (m *Manager) cofactorsAt(n Node, v Var) (lo, hi Node) {
+	if n.IsConst() {
+		return n, n
+	}
+	nd := &m.nodes[n]
+	if nd.v == v {
+		return nd.lo, nd.hi
+	}
+	return n, n
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Node) Node { return m.Ite(f, False, True) }
+
+// And returns the conjunction of its arguments (True for none).
+func (m *Manager) And(fs ...Node) Node {
+	r := True
+	for _, f := range fs {
+		r = m.Ite(r, f, False)
+	}
+	return r
+}
+
+// Or returns the disjunction of its arguments (False for none).
+func (m *Manager) Or(fs ...Node) Node {
+	r := False
+	for _, f := range fs {
+		r = m.Ite(r, True, f)
+	}
+	return r
+}
+
+// Xor returns the exclusive or of f and g.
+func (m *Manager) Xor(f, g Node) Node { return m.Ite(f, m.Not(g), g) }
+
+// Xnor returns the equivalence (biconditional) of f and g.
+func (m *Manager) Xnor(f, g Node) Node { return m.Ite(f, g, m.Not(g)) }
+
+// Implies returns f -> g.
+func (m *Manager) Implies(f, g Node) Node { return m.Ite(f, g, True) }
+
+// Cofactor returns the restriction of f with v replaced by the given
+// constant value (Shannon cofactor).
+func (m *Manager) Cofactor(f Node, v Var, val bool) Node {
+	cache := make(map[Node]Node)
+	lvl := m.perm[v]
+	var rec func(n Node) Node
+	rec = func(n Node) Node {
+		if n.IsConst() || m.levelOf(n) > lvl {
+			return n
+		}
+		if r, ok := cache[n]; ok {
+			return r
+		}
+		nd := &m.nodes[n]
+		var r Node
+		if nd.v == v {
+			if val {
+				r = nd.hi
+			} else {
+				r = nd.lo
+			}
+		} else {
+			r = m.mk(nd.v, rec(nd.lo), rec(nd.hi))
+		}
+		cache[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Restrict applies a partial assignment given as parallel slices of
+// variables and values, cofactoring f by each in turn.
+func (m *Manager) Restrict(f Node, vars []Var, vals []bool) Node {
+	for i, v := range vars {
+		f = m.Cofactor(f, v, vals[i])
+	}
+	return f
+}
+
+// Exists existentially quantifies (smooths) the given variables out of
+// f: the result is true wherever some assignment to vars makes f true.
+func (m *Manager) Exists(f Node, vars ...Var) Node {
+	if len(vars) == 0 {
+		return f
+	}
+	quant := make(map[Var]bool, len(vars))
+	maxLvl := -1
+	for _, v := range vars {
+		quant[v] = true
+		if m.perm[v] > maxLvl {
+			maxLvl = m.perm[v]
+		}
+	}
+	cache := make(map[Node]Node)
+	var rec func(n Node) Node
+	rec = func(n Node) Node {
+		if n.IsConst() || m.levelOf(n) > maxLvl {
+			return n
+		}
+		if r, ok := cache[n]; ok {
+			return r
+		}
+		nd := &m.nodes[n]
+		lo := rec(nd.lo)
+		hi := rec(nd.hi)
+		var r Node
+		if quant[nd.v] {
+			r = m.Ite(lo, True, hi) // lo OR hi
+		} else {
+			r = m.mk(nd.v, lo, hi)
+		}
+		cache[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Forall universally quantifies the given variables out of f.
+func (m *Manager) Forall(f Node, vars ...Var) Node {
+	return m.Not(m.Exists(m.Not(f), vars...))
+}
+
+// Compose substitutes the function g for variable v inside f.
+func (m *Manager) Compose(f Node, v Var, g Node) Node {
+	f0 := m.Cofactor(f, v, false)
+	f1 := m.Cofactor(f, v, true)
+	return m.Ite(g, f1, f0)
+}
+
+// DependsOn reports whether f essentially depends on v.
+func (m *Manager) DependsOn(f Node, v Var) bool {
+	seen := make(map[Node]bool)
+	lvl := m.perm[v]
+	var rec func(n Node) bool
+	rec = func(n Node) bool {
+		if n.IsConst() || m.levelOf(n) > lvl || seen[n] {
+			return false
+		}
+		seen[n] = true
+		nd := &m.nodes[n]
+		if nd.v == v {
+			return true
+		}
+		return rec(nd.lo) || rec(nd.hi)
+	}
+	return rec(f)
+}
+
+// SatCount returns the number of satisfying assignments of f over the
+// given number of variables (all variables of the manager typically).
+// It uses float64 accumulation, which is exact up to 2^53.
+func (m *Manager) SatCount(f Node, nvars int) float64 {
+	cache := make(map[Node]float64)
+	var rec func(n Node) float64 // fraction of the full space
+	rec = func(n Node) float64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if r, ok := cache[n]; ok {
+			return r
+		}
+		nd := &m.nodes[n]
+		r := (rec(nd.lo) + rec(nd.hi)) / 2
+		cache[n] = r
+		return r
+	}
+	total := rec(f)
+	for i := 0; i < nvars; i++ {
+		total *= 2
+	}
+	return total
+}
+
+// SatisfyOne returns one satisfying assignment of f as a map from
+// variable to value, or nil if f is unsatisfiable. Variables f does
+// not constrain are omitted from the map.
+func (m *Manager) SatisfyOne(f Node) map[Var]bool {
+	if f == False {
+		return nil
+	}
+	out := make(map[Var]bool)
+	for !f.IsConst() {
+		nd := &m.nodes[f]
+		if nd.lo != False {
+			out[nd.v] = false
+			f = nd.lo
+		} else {
+			out[nd.v] = true
+			f = nd.hi
+		}
+	}
+	return out
+}
+
+// ForEachCube calls fn once per cube (path to True) of f. The cube is
+// presented as parallel slices of variables and values, valid only for
+// the duration of the call. fn returning false stops the enumeration.
+func (m *Manager) ForEachCube(f Node, fn func(vars []Var, vals []bool) bool) {
+	var vars []Var
+	var vals []bool
+	var rec func(n Node) bool
+	rec = func(n Node) bool {
+		if n == False {
+			return true
+		}
+		if n == True {
+			return fn(vars, vals)
+		}
+		nd := &m.nodes[n]
+		vars = append(vars, nd.v)
+		vals = append(vals, false)
+		if !rec(nd.lo) {
+			return false
+		}
+		vals[len(vals)-1] = true
+		if !rec(nd.hi) {
+			return false
+		}
+		vars = vars[:len(vars)-1]
+		vals = vals[:len(vals)-1]
+		return true
+	}
+	rec(f)
+}
+
+// Cube builds the conjunction of literals given by parallel slices of
+// variables and phase values.
+func (m *Manager) Cube(vars []Var, vals []bool) Node {
+	r := True
+	// Build bottom-up in order of decreasing level for linear cost.
+	idx := make([]int, len(vars))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Simple insertion by level; cubes are short.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && m.perm[vars[idx[j]]] > m.perm[vars[idx[j-1]]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	for _, i := range idx {
+		if vals[i] {
+			r = m.mk(vars[i], False, r)
+		} else {
+			r = m.mk(vars[i], r, False)
+		}
+	}
+	return r
+}

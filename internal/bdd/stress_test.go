@@ -1,0 +1,124 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStressOpsGCSift interleaves random Boolean operations, garbage
+// collections and sifting passes while tracking the exact truth table
+// of a set of protected functions; every interleaving must preserve
+// both the functions and the manager invariants.
+func TestStressOpsGCSift(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		m := New()
+		const nv = 7
+		vars := newVars(m, nv)
+
+		type tracked struct {
+			n  Node
+			tt []bool
+		}
+		var funcs []tracked
+		protect := func(n Node) {
+			m.Protect(n)
+			funcs = append(funcs, tracked{n: n, tt: evalAll(m, n, vars)})
+		}
+		// Seed functions.
+		for i := 0; i < 3; i++ {
+			protect(randomFunc(m, vars, r))
+		}
+		verify := func(stage string) {
+			for i, f := range funcs {
+				got := evalAll(m, f.n, vars)
+				for k := range got {
+					if got[k] != f.tt[k] {
+						t.Fatalf("trial %d %s: function %d changed at minterm %d",
+							trial, stage, i, k)
+					}
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, stage, err)
+			}
+		}
+
+		for step := 0; step < 60; step++ {
+			switch r.Intn(6) {
+			case 0: // combine two tracked functions into a new one
+				a := funcs[r.Intn(len(funcs))].n
+				b := funcs[r.Intn(len(funcs))].n
+				var n Node
+				switch r.Intn(4) {
+				case 0:
+					n = m.And(a, b)
+				case 1:
+					n = m.Or(a, b)
+				case 2:
+					n = m.Xor(a, b)
+				default:
+					n = m.Ite(a, b, m.Not(b))
+				}
+				if len(funcs) < 10 {
+					protect(n)
+				}
+			case 1: // quantify
+				f := funcs[r.Intn(len(funcs))].n
+				_ = m.Exists(f, vars[r.Intn(nv)])
+			case 2: // cofactor and recombine
+				f := funcs[r.Intn(len(funcs))].n
+				v := vars[r.Intn(nv)]
+				f0 := m.Cofactor(f, v, false)
+				f1 := m.Cofactor(f, v, true)
+				if m.Ite(m.VarNode(v), f1, f0) != f {
+					t.Fatalf("trial %d step %d: Shannon identity broken", trial, step)
+				}
+			case 3:
+				m.GC()
+			case 4:
+				m.Sift(SiftOptions{Passes: 1 + r.Intn(2)})
+			default: // garbage churn
+				randomFunc(m, vars, r)
+			}
+			if step%15 == 14 {
+				verify("mid")
+			}
+		}
+		verify("final")
+
+		// Drop protections one by one; survivors must stay intact.
+		for len(funcs) > 1 {
+			m.Unprotect(funcs[len(funcs)-1].n)
+			funcs = funcs[:len(funcs)-1]
+			m.GC()
+			verify("after-unprotect")
+		}
+	}
+}
+
+// TestSiftMultiPass ensures repeated passes never increase the final
+// size (each pass only accepts improving positions).
+func TestSiftMultiPass(t *testing.T) {
+	m := New()
+	vars := newVars(m, 10)
+	f := False
+	for j := 0; j < 5; j++ {
+		f = m.Or(f, m.And(m.VarNode(vars[j]), m.VarNode(vars[j+5])))
+	}
+	m.Protect(f)
+	m.Sift(SiftOptions{Passes: 1})
+	one := m.Size(f)
+	m.Sift(SiftOptions{Passes: 3})
+	three := m.Size(f)
+	if three > one {
+		t.Errorf("more passes grew the BDD: %d -> %d", one, three)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

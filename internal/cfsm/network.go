@@ -1,0 +1,216 @@
+package cfsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Network is a globally asynchronous, locally synchronous (GALS)
+// collection of CFSMs communicating through events. Signals connect
+// machines by object identity: a signal created at network level and
+// registered as one machine's output and another's input forms an
+// internal one-place-buffered channel; signals only read are primary
+// inputs, signals only written are primary outputs.
+type Network struct {
+	Name     string
+	Machines []*CFSM
+	Signals  []*Signal
+
+	owner map[*Signal]bool
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(name string) *Network {
+	return &Network{Name: name, owner: make(map[*Signal]bool)}
+}
+
+// NewSignal creates a network-level signal.
+func (n *Network) NewSignal(name string, pure bool) *Signal {
+	s := &Signal{Name: name, Pure: pure}
+	n.Signals = append(n.Signals, s)
+	n.owner[s] = true
+	return s
+}
+
+// Add registers a machine. Its input and output signals must be
+// network signals (created with NewSignal and attached with
+// AttachInput/AttachOutput).
+func (n *Network) Add(c *CFSM) error {
+	for _, s := range append(append([]*Signal{}, c.Inputs...), c.Outputs...) {
+		if !n.owner[s] {
+			return fmt.Errorf("network %s: machine %s uses foreign signal %s",
+				n.Name, c.Name, s.Name)
+		}
+	}
+	n.Machines = append(n.Machines, c)
+	return nil
+}
+
+// AttachInput registers an existing network signal as an input of c.
+func (c *CFSM) AttachInput(s *Signal) *Signal {
+	c.Inputs = append(c.Inputs, s)
+	return s
+}
+
+// AttachOutput registers an existing network signal as an output of c.
+func (c *CFSM) AttachOutput(s *Signal) *Signal {
+	c.Outputs = append(c.Outputs, s)
+	return s
+}
+
+// Writers returns the machines emitting s.
+func (n *Network) Writers(s *Signal) []*CFSM {
+	var out []*CFSM
+	for _, m := range n.Machines {
+		for _, o := range m.Outputs {
+			if o == s {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Readers returns the machines sensitive to s.
+func (n *Network) Readers(s *Signal) []*CFSM {
+	var out []*CFSM
+	for _, m := range n.Machines {
+		for _, i := range m.Inputs {
+			if i == s {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PrimaryInputs returns the signals written by the environment only.
+func (n *Network) PrimaryInputs() []*Signal {
+	var out []*Signal
+	for _, s := range n.Signals {
+		if len(n.Writers(s)) == 0 && len(n.Readers(s)) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PrimaryOutputs returns the signals read by the environment only.
+func (n *Network) PrimaryOutputs() []*Signal {
+	var out []*Signal
+	for _, s := range n.Signals {
+		if len(n.Readers(s)) == 0 && len(n.Writers(s)) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// InternalSignals returns the signals both written and read inside the
+// network.
+func (n *Network) InternalSignals() []*Signal {
+	var out []*Signal
+	for _, s := range n.Signals {
+		if len(n.Readers(s)) > 0 && len(n.Writers(s)) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the machines ordered so that every writer of an
+// internal signal precedes its readers, or an error on a causality
+// cycle (needed by the synchronous single-FSM composition).
+func (n *Network) TopoOrder() ([]*CFSM, error) {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[*CFSM]int)
+	var order []*CFSM
+	var visit func(m *CFSM) error
+	visit = func(m *CFSM) error {
+		switch color[m] {
+		case grey:
+			return fmt.Errorf("network %s: causality cycle through %s", n.Name, m.Name)
+		case black:
+			return nil
+		}
+		color[m] = grey
+		for _, in := range m.Inputs {
+			for _, w := range n.Writers(in) {
+				if w != m {
+					if err := visit(w); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[m] = black
+		order = append(order, m)
+		return nil
+	}
+	for _, m := range n.Machines {
+		if err := visit(m); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Validate checks the network: machine validity, unique state-variable
+// names (the composition and the RTOS rely on them), and at most one
+// writer per internal signal.
+func (n *Network) Validate() error {
+	names := make(map[string]string)
+	for _, m := range n.Machines {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		for _, sv := range m.States {
+			if prev, dup := names[sv.Name]; dup {
+				return fmt.Errorf("network %s: state variable %s defined in both %s and %s",
+					n.Name, sv.Name, prev, m.Name)
+			}
+			names[sv.Name] = m.Name
+		}
+	}
+	return nil
+}
+
+// Dot renders the network topology in Graphviz format: machines as
+// boxes, signals as edges (environment connections drawn to/from
+// point nodes).
+func (n *Network) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", n.Name)
+	fmt.Fprintf(&b, "  env_in [label=\"environment\", shape=plaintext];\n")
+	fmt.Fprintf(&b, "  env_out [label=\"environment\", shape=plaintext];\n")
+	for _, m := range n.Machines {
+		fmt.Fprintf(&b, "  %q;\n", m.Name)
+	}
+	for _, s := range n.Signals {
+		writers := n.Writers(s)
+		readers := n.Readers(s)
+		if len(writers) == 0 {
+			for _, r := range readers {
+				fmt.Fprintf(&b, "  env_in -> %q [label=%q];\n", r.Name, s.Name)
+			}
+			continue
+		}
+		for _, w := range writers {
+			if len(readers) == 0 {
+				fmt.Fprintf(&b, "  %q -> env_out [label=%q];\n", w.Name, s.Name)
+				continue
+			}
+			for _, r := range readers {
+				fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", w.Name, r.Name, s.Name)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

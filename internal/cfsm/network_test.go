@@ -1,0 +1,179 @@
+package cfsm
+
+import (
+	"strings"
+	"testing"
+
+	"polis/internal/expr"
+)
+
+// relay builds a machine forwarding signal in to signal out.
+func relay(name string, in, out *Signal) *CFSM {
+	m := New(name)
+	m.AttachInput(in)
+	m.AttachOutput(out)
+	p := m.Present(in)
+	m.AddTransition([]Cond{On(p, 1)}, m.Emit(out))
+	return m
+}
+
+func TestNetworkClassification(t *testing.T) {
+	n := NewNetwork("net")
+	a := n.NewSignal("a", true)
+	b := n.NewSignal("b", true)
+	c := n.NewSignal("c", true)
+	m1 := relay("m1", a, b)
+	m2 := relay("m2", b, c)
+	if err := n.Add(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(m2); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.PrimaryInputs(); len(got) != 1 || got[0] != a {
+		t.Errorf("primary inputs: %v", got)
+	}
+	if got := n.PrimaryOutputs(); len(got) != 1 || got[0] != c {
+		t.Errorf("primary outputs: %v", got)
+	}
+	if got := n.InternalSignals(); len(got) != 1 || got[0] != b {
+		t.Errorf("internal: %v", got)
+	}
+	if w := n.Writers(b); len(w) != 1 || w[0] != m1 {
+		t.Errorf("writers(b): %v", w)
+	}
+	if r := n.Readers(b); len(r) != 1 || r[0] != m2 {
+		t.Errorf("readers(b): %v", r)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != m1 || order[1] != m2 {
+		t.Errorf("topo order: %v", order)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkRejectsForeignSignal(t *testing.T) {
+	n := NewNetwork("net")
+	a := n.NewSignal("a", true)
+	foreign := &Signal{Name: "x", Pure: true}
+	m := relay("m", a, foreign)
+	if err := n.Add(m); err == nil {
+		t.Error("foreign signal must be rejected")
+	}
+}
+
+func TestNetworkRejectsDuplicateStateNames(t *testing.T) {
+	n := NewNetwork("net")
+	a := n.NewSignal("a", true)
+	b := n.NewSignal("b", true)
+	m1 := relay("m1", a, b)
+	m1.AddState("shared", 0, 0)
+	m2 := New("m2")
+	m2.AttachInput(b)
+	m2.AddState("shared", 0, 0)
+	p := m2.Present(b)
+	sv := m2.States[0]
+	m2.AddTransition([]Cond{On(p, 1)}, m2.Assign(sv, expr.C(1)))
+	if err := n.Add(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err == nil {
+		t.Error("duplicate state names must be rejected")
+	}
+}
+
+func TestSnapshotEnvLookup(t *testing.T) {
+	c := New("m")
+	in := c.AddInput("v", false)
+	sv := c.AddState("s", 0, 7)
+	snap := c.NewSnapshot()
+	snap.Present[in] = true
+	snap.Values[in] = 42
+	env := snap.Env()
+	if got := env.Lookup("s"); got != 7 {
+		t.Errorf("state lookup: %d", got)
+	}
+	if got := env.Lookup("?v"); got != 42 {
+		t.Errorf("value lookup: %d", got)
+	}
+	if got := env.Lookup("?missing"); got != 0 {
+		t.Errorf("missing value lookup: %d", got)
+	}
+	if got := env.Lookup("missing"); got != 0 {
+		t.Errorf("missing state lookup: %d", got)
+	}
+	_ = sv
+}
+
+func TestSelOnDataVarPanics(t *testing.T) {
+	c := New("m")
+	sv := c.AddState("d", 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Sel on a data variable must panic")
+		}
+	}()
+	c.Sel(sv)
+}
+
+func TestValidateForeignTestAndAction(t *testing.T) {
+	c1 := New("c1")
+	in1 := c1.AddInput("x", true)
+	p1 := c1.Present(in1)
+	c2 := New("c2")
+	in2 := c2.AddInput("x", true)
+	o2 := c2.AddOutput("o", true)
+	_ = in2
+	// A transition in c2 using c1's test.
+	c2.AddTransition([]Cond{On(p1, 1)}, c2.Emit(o2))
+	if err := c2.Validate(); err == nil {
+		t.Error("foreign test must be rejected")
+	}
+}
+
+func TestEvalTestSelectorOutOfDomain(t *testing.T) {
+	c := New("m")
+	sv := c.AddState("q", 2, 0)
+	sel := c.Sel(sv)
+	snap := c.NewSnapshot()
+	snap.State[sv] = 5
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-domain selector read must panic")
+		}
+	}()
+	snap.EvalTest(sel)
+}
+
+func TestNetworkDot(t *testing.T) {
+	n := NewNetwork("net")
+	a := n.NewSignal("a", true)
+	b := n.NewSignal("b", true)
+	c := n.NewSignal("c", true)
+	m1 := relay("m1", a, b)
+	m2 := relay("m2", b, c)
+	if err := n.Add(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(m2); err != nil {
+		t.Fatal(err)
+	}
+	dot := n.Dot()
+	for _, needle := range []string{
+		`env_in -> "m1" [label="a"]`,
+		`"m1" -> "m2" [label="b"]`,
+		`"m2" -> env_out [label="c"]`,
+	} {
+		if !strings.Contains(dot, needle) {
+			t.Errorf("network dot missing %q:\n%s", needle, dot)
+		}
+	}
+}

@@ -1,0 +1,459 @@
+package codegen
+
+import (
+	"fmt"
+
+	"polis/internal/cfsm"
+	"polis/internal/expr"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+// SignalMap assigns the small integer ids under which the RTOS knows
+// signals; the SVC instructions of generated code use them.
+type SignalMap map[*cfsm.Signal]int
+
+// NewSignalMap numbers the inputs and outputs of a CFSM consecutively.
+func NewSignalMap(c *cfsm.CFSM) SignalMap {
+	m := make(SignalMap)
+	id := 0
+	for _, s := range c.Inputs {
+		m[s] = id
+		id++
+	}
+	for _, s := range c.Outputs {
+		if _, ok := m[s]; !ok {
+			m[s] = id
+			id++
+		}
+	}
+	return m
+}
+
+// Options controls code generation.
+type Options struct {
+	// OptimizeCopies enables the write-before-read data-flow
+	// analysis: only state variables assigned before a later read
+	// get an entry copy. Off reproduces the paper's conservative
+	// copy-everything behaviour (Section V-B).
+	OptimizeCopies bool
+	// IfThreshold is the TEST arity at or below which a chain of
+	// compare-and-branch instructions is generated instead of a jump
+	// table (the paper's target-dependent switch/if parameter).
+	IfThreshold int
+}
+
+// Register conventions of generated code.
+const (
+	RegVal = 1 // expression results
+	RegTmp = 2 // expression left operands
+	RegAux = 3 // scratch for comparisons and immediates
+	// RegAcc holds multi-way outcome accumulators; it must be
+	// distinct from everything CompileExpr touches, since predicates
+	// are compiled while an accumulation is in flight.
+	RegAcc = 4
+)
+
+// Builder carries the shared state of one routine's generation:
+// program, prologue copies, address maps and the expression compiler.
+// The s-graph assembler uses it, and so do the alternative code
+// generators (boolean-circuit and two-level-jump baselines), so all
+// strategies share one lowering of expressions, emissions and RTOS
+// traps and their costs stay comparable.
+type Builder struct {
+	c    *cfsm.CFSM
+	p    *vm.Program
+	sigs SignalMap
+	opts Options
+	plan *CopyPlan
+
+	stateAddr map[*cfsm.StateVar]int // persistent state words
+	curAddr   map[*cfsm.StateVar]int // entry copies (when needed)
+	valAddr   map[*cfsm.Signal]int   // input value copies
+	tmpDepth  int
+	maxTmp    int
+}
+
+// NewBuilder prepares a routine for the given CFSM: the entry label is
+// marked, state words are allocated and the copy-on-entry prologue is
+// emitted according to plan (nil means the conservative plan derived
+// from the whole CFSM: everything read is copied). Callers then emit
+// the body through the Builder's methods and finish with Finish.
+func NewBuilder(c *cfsm.CFSM, sigs SignalMap, opts Options, plan *CopyPlan) (*Builder, error) {
+	if opts.IfThreshold == 0 {
+		opts.IfThreshold = 2
+	}
+	if plan == nil {
+		plan = ConservativePlan(c)
+	}
+	a := &Builder{
+		c:         c,
+		p:         vm.NewProgram(c.Name),
+		sigs:      sigs,
+		opts:      opts,
+		plan:      plan,
+		stateAddr: make(map[*cfsm.StateVar]int),
+		curAddr:   make(map[*cfsm.StateVar]int),
+		valAddr:   make(map[*cfsm.Signal]int),
+	}
+	for _, sv := range c.States {
+		a.stateAddr[sv] = a.p.Alloc("st_" + sv.Name)
+	}
+	if err := a.p.Mark(EntryLabel(c)); err != nil {
+		return nil, err
+	}
+	a.prologue()
+	return a, nil
+}
+
+// Prog exposes the program under construction for direct emission.
+func (a *Builder) Prog() *vm.Program { return a.p }
+
+// Finish resolves labels and returns the completed program.
+func (a *Builder) Finish() (*vm.Program, error) {
+	if err := a.p.Resolve(); err != nil {
+		return nil, err
+	}
+	return a.p, nil
+}
+
+// StateAddr returns the persistent data word of a state variable.
+func (a *Builder) StateAddr(sv *cfsm.StateVar) int { return a.stateAddr[sv] }
+
+// StateReadAddr returns the data word reads of a state variable use:
+// its entry copy when one exists, else the persistent word.
+func (a *Builder) StateReadAddr(sv *cfsm.StateVar) int { return a.stateReadAddr(sv) }
+
+// SignalID returns the RTOS id of a signal.
+func (a *Builder) SignalID(s *cfsm.Signal) int { return a.sigs[s] }
+
+// ConservativePlan marks every variable occurring in any test or
+// action of the CFSM as read and needing a copy — what a generator
+// that cannot see paths must assume.
+func ConservativePlan(c *cfsm.CFSM) *CopyPlan {
+	plan := &CopyPlan{
+		Read:      make(map[*cfsm.StateVar]bool),
+		NeedCopy:  make(map[*cfsm.StateVar]bool),
+		ValueRead: make(map[*cfsm.Signal]bool),
+	}
+	byName := make(map[string]*cfsm.StateVar)
+	for _, sv := range c.States {
+		byName[sv.Name] = sv
+	}
+	sigByName := make(map[string]*cfsm.Signal)
+	for _, s := range c.Inputs {
+		sigByName[s.Name] = s
+	}
+	note := func(names []string) {
+		for _, n := range names {
+			if len(n) > 0 && n[0] == '?' {
+				if sig := sigByName[n[1:]]; sig != nil {
+					plan.ValueRead[sig] = true
+				}
+				continue
+			}
+			if sv := byName[n]; sv != nil {
+				plan.Read[sv] = true
+				plan.NeedCopy[sv] = true
+			}
+		}
+	}
+	for _, t := range c.Tests {
+		switch t.Kind {
+		case cfsm.TestPredicate:
+			note(t.Pred.Vars(nil))
+		case cfsm.TestSelector:
+			plan.Read[t.Sel] = true
+			plan.NeedCopy[t.Sel] = true
+		}
+	}
+	for _, act := range c.Actions {
+		switch act.Kind {
+		case cfsm.ActEmit:
+			if act.Value != nil {
+				note(act.Value.Vars(nil))
+			}
+		case cfsm.ActAssign:
+			note(act.Expr.Vars(nil))
+		}
+	}
+	return plan
+}
+
+// EntryLabel returns the label of a CFSM's reaction routine.
+func EntryLabel(c *cfsm.CFSM) string { return c.Name + "_react" }
+
+// Assemble translates an s-graph into a routine for the virtual CPU.
+// The routine reads event presence and values through SVC traps,
+// updates the persistent state words allocated in the program, and
+// halts. State variables live in the program's data memory and keep
+// their values across runs of one vm.Machine.
+func Assemble(g *sgraph.SGraph, sigs SignalMap, opts Options) (*vm.Program, error) {
+	a, err := NewBuilder(g.C, sigs, opts, AnalyzeCopies(g))
+	if err != nil {
+		return nil, err
+	}
+	if err := a.body(g); err != nil {
+		return nil, err
+	}
+	return a.Finish()
+}
+
+// prologue copies state variables and input values on entry, per the
+// paper's copy-on-entry discipline (optionally trimmed by data flow).
+func (a *Builder) prologue() {
+	for _, sv := range a.c.States {
+		need := a.plan.Read[sv]
+		if a.opts.OptimizeCopies {
+			need = a.plan.NeedCopy[sv]
+		}
+		if !need {
+			continue
+		}
+		cur := a.p.Alloc("cur_" + sv.Name)
+		a.curAddr[sv] = cur
+		a.p.Emit(vm.Instr{Op: vm.LD, Rd: RegVal, Addr: a.stateAddr[sv], Comment: "copy " + sv.Name})
+		a.p.Emit(vm.Instr{Op: vm.ST, Addr: cur, Rs: RegVal})
+	}
+	for _, sig := range a.c.Inputs {
+		if sig.Pure || !a.plan.ValueRead[sig] {
+			continue
+		}
+		addr := a.p.Alloc("val_" + sig.Name)
+		a.valAddr[sig] = addr
+		a.p.Emit(vm.Instr{Op: vm.SVC, Num: vm.SvcValue, Imm: int64(a.sigs[sig]), Comment: "?" + sig.Name})
+		a.p.Emit(vm.Instr{Op: vm.ST, Addr: addr, Rs: 0})
+	}
+}
+
+// readAddr resolves an expression variable name to a data address.
+func (a *Builder) readAddr(name string) (int, error) {
+	if len(name) > 0 && name[0] == '?' {
+		for _, sig := range a.c.Inputs {
+			if sig.Name == name[1:] {
+				if addr, ok := a.valAddr[sig]; ok {
+					return addr, nil
+				}
+				return 0, fmt.Errorf("codegen: value of %s read but not copied", sig.Name)
+			}
+		}
+		return 0, fmt.Errorf("codegen: unknown input value %q", name)
+	}
+	for _, sv := range a.c.States {
+		if sv.Name == name {
+			if cur, ok := a.curAddr[sv]; ok {
+				return cur, nil
+			}
+			// No copy needed: the persistent word still holds the
+			// pre-reaction value at every read.
+			return a.stateAddr[sv], nil
+		}
+	}
+	return 0, fmt.Errorf("codegen: unknown variable %q", name)
+}
+
+// stateReadAddr returns the address selector tests read.
+func (a *Builder) stateReadAddr(sv *cfsm.StateVar) int {
+	if cur, ok := a.curAddr[sv]; ok {
+		return cur
+	}
+	return a.stateAddr[sv]
+}
+
+// CompileExpr evaluates e into register RegVal using the simple
+// two-register stack schema (partial results spill to per-depth
+// temporaries), mirroring what a very simple embedded C compiler
+// produces — which is exactly the regime the paper's estimator is
+// calibrated for.
+func (a *Builder) CompileExpr(e expr.Expr) error {
+	switch x := e.(type) {
+	case expr.Const:
+		a.p.Emit(vm.Instr{Op: vm.LDI, Rd: RegVal, Imm: int64(x)})
+		return nil
+	case expr.Ref:
+		addr, err := a.readAddr(string(x))
+		if err != nil {
+			return err
+		}
+		a.p.Emit(vm.Instr{Op: vm.LD, Rd: RegVal, Addr: addr})
+		return nil
+	case *expr.Un:
+		if err := a.CompileExpr(x.X); err != nil {
+			return err
+		}
+		switch x.Op {
+		case expr.UnNeg:
+			a.p.Emit(vm.Instr{Op: vm.NEG, Rd: RegVal})
+		case expr.UnNot:
+			a.p.Emit(vm.Instr{Op: vm.NOT, Rd: RegVal})
+		default:
+			// Bitwise complement as -x - 1.
+			a.p.Emit(vm.Instr{Op: vm.NEG, Rd: RegVal})
+			a.p.Emit(vm.Instr{Op: vm.LDI, Rd: RegTmp, Imm: 1})
+			a.p.Emit(vm.Instr{Op: vm.ALU, AOp: expr.OpSub, Rd: RegVal, Rs: RegTmp})
+		}
+		return nil
+	case *expr.Bin:
+		if err := a.CompileExpr(x.L); err != nil {
+			return err
+		}
+		tmp := a.p.Alloc(fmt.Sprintf("tmp%d", a.tmpDepth))
+		a.tmpDepth++
+		if a.tmpDepth > a.maxTmp {
+			a.maxTmp = a.tmpDepth
+		}
+		a.p.Emit(vm.Instr{Op: vm.ST, Addr: tmp, Rs: RegVal})
+		if err := a.CompileExpr(x.R); err != nil {
+			return err
+		}
+		a.tmpDepth--
+		a.p.Emit(vm.Instr{Op: vm.LD, Rd: RegTmp, Addr: tmp})
+		a.p.Emit(vm.Instr{Op: vm.ALU, AOp: x.Op, Rd: RegTmp, Rs: RegVal})
+		a.p.Emit(vm.Instr{Op: vm.MOV, Rd: RegVal, Rs: RegTmp})
+		return nil
+	}
+	return fmt.Errorf("codegen: unknown expression node %T", e)
+}
+
+func vlabel(v *sgraph.Vertex) string { return fmt.Sprintf("v%d", v.ID) }
+
+// body emits all reachable vertices in DFS order, falling through to
+// the next vertex where the layout allows and jumping otherwise.
+func (a *Builder) body(g *sgraph.SGraph) error {
+	order := g.Reachable() // DFS pre-order, Begin first
+	pos := make(map[*sgraph.Vertex]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	for i, v := range order {
+		if err := a.p.Mark(vlabel(v)); err != nil {
+			return err
+		}
+		next := func(w *sgraph.Vertex) {
+			if i+1 < len(order) && order[i+1] == w {
+				return // fall through
+			}
+			a.p.Emit(vm.Instr{Op: vm.JMP, Label: vlabel(w)})
+		}
+		switch v.Kind {
+		case sgraph.Begin:
+			next(v.Next)
+		case sgraph.End:
+			a.p.Emit(vm.Instr{Op: vm.HALT})
+		case sgraph.Assign:
+			if err := a.EmitAction(v.Action); err != nil {
+				return err
+			}
+			next(v.Next)
+		case sgraph.Test:
+			if err := a.emitTest(v, next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emitTest lowers a TEST vertex: presence tests through an RTOS trap,
+// predicates through expression code, selectors and collapsed tests
+// through a jump table or a compare-and-branch chain depending on
+// arity (the paper's switch/if threshold).
+func (a *Builder) emitTest(v *sgraph.Vertex, next func(w *sgraph.Vertex)) error {
+	if len(v.Tests) == 1 && v.Tests[0].Arity() == 2 {
+		t := v.Tests[0]
+		switch t.Kind {
+		case cfsm.TestPresence:
+			a.p.Emit(vm.Instr{Op: vm.SVC, Num: vm.SvcPresent, Imm: int64(a.sigs[t.Signal]),
+				Comment: t.Name()})
+			a.p.Emit(vm.Instr{Op: vm.BRNZ, Rs: 0, Label: vlabel(v.Children[1])})
+		case cfsm.TestPredicate:
+			if err := a.CompileExpr(t.Pred); err != nil {
+				return err
+			}
+			a.p.Emit(vm.Instr{Op: vm.BRNZ, Rs: RegVal, Label: vlabel(v.Children[1])})
+		default:
+			a.p.Emit(vm.Instr{Op: vm.LD, Rd: RegVal, Addr: a.stateReadAddr(t.Sel), Comment: t.Name()})
+			a.p.Emit(vm.Instr{Op: vm.BRNZ, Rs: RegVal, Label: vlabel(v.Children[1])})
+		}
+		next(v.Children[0])
+		return nil
+	}
+	// Multi-way: compute the combined outcome index into RegAcc
+	// (CompileExpr may run mid-accumulation and clobbers RegVal,
+	// RegTmp and RegAux).
+	a.p.Emit(vm.Instr{Op: vm.LDI, Rd: RegAcc, Imm: 0})
+	for _, t := range v.Tests {
+		if t.Arity() > 1 {
+			a.p.Emit(vm.Instr{Op: vm.LDI, Rd: RegAux, Imm: int64(t.Arity())})
+			a.p.Emit(vm.Instr{Op: vm.ALU, AOp: expr.OpMul, Rd: RegAcc, Rs: RegAux})
+		}
+		switch t.Kind {
+		case cfsm.TestPresence:
+			a.p.Emit(vm.Instr{Op: vm.SVC, Num: vm.SvcPresent, Imm: int64(a.sigs[t.Signal]),
+				Comment: t.Name()})
+			a.p.Emit(vm.Instr{Op: vm.ALU, AOp: expr.OpAdd, Rd: RegAcc, Rs: 0})
+		case cfsm.TestPredicate:
+			if err := a.CompileExpr(t.Pred); err != nil {
+				return err
+			}
+			// Normalise to 0/1.
+			a.p.Emit(vm.Instr{Op: vm.NOT, Rd: RegVal})
+			a.p.Emit(vm.Instr{Op: vm.NOT, Rd: RegVal})
+			a.p.Emit(vm.Instr{Op: vm.ALU, AOp: expr.OpAdd, Rd: RegAcc, Rs: RegVal})
+		default:
+			a.p.Emit(vm.Instr{Op: vm.LD, Rd: RegVal, Addr: a.stateReadAddr(t.Sel), Comment: t.Name()})
+			a.p.Emit(vm.Instr{Op: vm.ALU, AOp: expr.OpAdd, Rd: RegAcc, Rs: RegVal})
+		}
+	}
+	if v.Arity() <= a.opts.IfThreshold {
+		// Compare-and-branch chain.
+		for idx := 1; idx < v.Arity(); idx++ {
+			a.p.Emit(vm.Instr{Op: vm.LDI, Rd: RegAux, Imm: int64(idx)})
+			a.p.Emit(vm.Instr{Op: vm.BR, Cond: vm.CondEQ, Rs: RegAcc, Rt: RegAux,
+				Label: vlabel(v.Children[idx])})
+		}
+		next(v.Children[0])
+		return nil
+	}
+	table := make([]string, v.Arity())
+	for idx, c := range v.Children {
+		table[idx] = vlabel(c)
+	}
+	a.p.Emit(vm.Instr{Op: vm.JTAB, Rs: RegAcc, Table: table})
+	return nil
+}
+
+// emitAction lowers an ASSIGN vertex.
+func (a *Builder) EmitAction(act *cfsm.Action) error {
+	switch act.Kind {
+	case cfsm.ActEmit:
+		if act.Value == nil {
+			a.p.Emit(vm.Instr{Op: vm.SVC, Num: vm.SvcEmit, Imm: int64(a.sigs[act.Signal]),
+				Comment: act.Name()})
+			return nil
+		}
+		if err := a.CompileExpr(act.Value); err != nil {
+			return err
+		}
+		a.p.Emit(vm.Instr{Op: vm.SVC, Num: vm.SvcEmitV, Imm: int64(a.sigs[act.Signal]), Rs: RegVal,
+			Comment: act.Name()})
+		return nil
+	case cfsm.ActAssign:
+		if err := a.CompileExpr(act.Expr); err != nil {
+			return err
+		}
+		a.p.Emit(vm.Instr{Op: vm.ST, Addr: a.stateAddr[act.Var], Rs: RegVal, Comment: act.Name()})
+		return nil
+	}
+	return fmt.Errorf("codegen: unknown action kind")
+}
+
+// InitStateMemory writes the initial values of the CFSM's state
+// variables into a machine's memory.
+func InitStateMemory(g *sgraph.SGraph, p *vm.Program, m *vm.Machine) {
+	for _, sv := range g.C.States {
+		if addr, ok := p.Symbols["st_"+sv.Name]; ok {
+			m.Mem[addr] = sv.Init
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package codegen translates s-graphs into target code: portable C
+// text (Section III-B4 of the paper) and object code for the virtual
+// embedded CPU of internal/vm. The one-statement-per-vertex discipline
+// the paper relies on for estimation is preserved: every s-graph
+// vertex maps to a fixed, recognisable instruction pattern.
+package codegen
+
+import (
+	"polis/internal/cfsm"
+	"polis/internal/sgraph"
+)
+
+// CopyPlan records which state variables must be copied on routine
+// entry. The paper's implementation copies every variable "to provide
+// a safe implementation of the update of their next-state values" and
+// notes that a data-flow analysis detecting write-before-read cases
+// would reduce ROM, RAM and CPU time (Section V-B); NeedCopy computes
+// exactly that analysis, and generators consult it when the
+// OptimizeCopies option is on.
+type CopyPlan struct {
+	// Read reports state variables whose value some expression or
+	// selector reads.
+	Read map[*cfsm.StateVar]bool
+	// NeedCopy reports state variables that are written on some path
+	// before a later read — only these need an entry copy.
+	NeedCopy map[*cfsm.StateVar]bool
+	// ValueRead reports input signals whose carried value is read.
+	ValueRead map[*cfsm.Signal]bool
+}
+
+// AnalyzeCopies runs the write-before-read data-flow analysis over all
+// BEGIN-to-END paths of g.
+func AnalyzeCopies(g *sgraph.SGraph) *CopyPlan {
+	p := &CopyPlan{
+		Read:      make(map[*cfsm.StateVar]bool),
+		NeedCopy:  make(map[*cfsm.StateVar]bool),
+		ValueRead: make(map[*cfsm.Signal]bool),
+	}
+	byName := make(map[string]*cfsm.StateVar)
+	for _, sv := range g.C.States {
+		byName[sv.Name] = sv
+	}
+	sigByName := make(map[string]*cfsm.Signal)
+	for _, s := range g.C.Inputs {
+		sigByName[s.Name] = s
+	}
+	noteReads := func(names []string, written map[*cfsm.StateVar]bool) {
+		for _, n := range names {
+			if len(n) > 0 && n[0] == '?' {
+				if sig := sigByName[n[1:]]; sig != nil {
+					p.ValueRead[sig] = true
+				}
+				continue
+			}
+			if sv := byName[n]; sv != nil {
+				p.Read[sv] = true
+				if written[sv] {
+					p.NeedCopy[sv] = true
+				}
+			}
+		}
+	}
+	// DFS carrying the written-set. Shared suffixes are revisited
+	// once per distinct written-set signature; graphs here are small.
+	type key struct {
+		v   *sgraph.Vertex
+		sig string
+	}
+	visited := make(map[key]bool)
+	var walk func(v *sgraph.Vertex, written map[*cfsm.StateVar]bool, sig string)
+	walk = func(v *sgraph.Vertex, written map[*cfsm.StateVar]bool, sig string) {
+		k := key{v, sig}
+		if visited[k] {
+			return
+		}
+		visited[k] = true
+		switch v.Kind {
+		case sgraph.Begin:
+			walk(v.Next, written, sig)
+		case sgraph.End:
+		case sgraph.Test:
+			for _, t := range v.Tests {
+				switch t.Kind {
+				case cfsm.TestPredicate:
+					noteReads(t.Pred.Vars(nil), written)
+				case cfsm.TestSelector:
+					p.Read[t.Sel] = true
+					if written[t.Sel] {
+						p.NeedCopy[t.Sel] = true
+					}
+				}
+			}
+			for _, c := range v.Children {
+				walk(c, written, sig)
+			}
+		case sgraph.Assign:
+			a := v.Action
+			switch a.Kind {
+			case cfsm.ActEmit:
+				if a.Value != nil {
+					noteReads(a.Value.Vars(nil), written)
+				}
+				walk(v.Next, written, sig)
+			case cfsm.ActAssign:
+				noteReads(a.Expr.Vars(nil), written)
+				if !written[a.Var] {
+					w2 := make(map[*cfsm.StateVar]bool, len(written)+1)
+					for k := range written {
+						w2[k] = true
+					}
+					w2[a.Var] = true
+					walk(v.Next, w2, sig+"|"+a.Var.Name)
+				} else {
+					walk(v.Next, written, sig)
+				}
+			}
+		}
+	}
+	walk(g.Begin, map[*cfsm.StateVar]bool{}, "")
+	return p
+}

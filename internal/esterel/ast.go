@@ -1,0 +1,71 @@
+package esterel
+
+import "polis/internal/expr"
+
+// Module is a parsed reactive module.
+type Module struct {
+	Name    string
+	Inputs  []SigDecl
+	Outputs []SigDecl
+	Vars    []VarDecl
+	Body    []Stmt
+}
+
+// SigDecl declares a signal; Valued signals carry an integer.
+type SigDecl struct {
+	Name   string
+	Valued bool
+}
+
+// VarDecl declares a local state variable with an initial value.
+type VarDecl struct {
+	Name string
+	Init int64
+}
+
+// Stmt is a statement of the subset.
+type Stmt interface{ stmt() }
+
+// AwaitStmt waits for the next occurrence of a signal.
+type AwaitStmt struct{ Signal string }
+
+// EmitStmt emits a signal, optionally with a value.
+type EmitStmt struct {
+	Signal string
+	Value  expr.Expr // nil for pure emission
+}
+
+// AssignStmt assigns an expression to a variable.
+type AssignStmt struct {
+	Var  string
+	Expr expr.Expr
+}
+
+// IfStmt branches on a data expression or a presence test.
+type IfStmt struct {
+	Cond    expr.Expr // nil when Present is set
+	Present string    // signal name for `if present S`
+	Then    []Stmt
+	Else    []Stmt
+}
+
+// LoopStmt repeats its body forever.
+type LoopStmt struct{ Body []Stmt }
+
+// RepeatStmt repeats its body a static number of times (unrolled at
+// compile time).
+type RepeatStmt struct {
+	Count int64
+	Body  []Stmt
+}
+
+// NothingStmt does nothing.
+type NothingStmt struct{}
+
+func (AwaitStmt) stmt()   {}
+func (EmitStmt) stmt()    {}
+func (AssignStmt) stmt()  {}
+func (IfStmt) stmt()      {}
+func (LoopStmt) stmt()    {}
+func (RepeatStmt) stmt()  {}
+func (NothingStmt) stmt() {}

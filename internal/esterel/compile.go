@@ -1,0 +1,387 @@
+package esterel
+
+import (
+	"fmt"
+
+	"polis/internal/cfsm"
+	"polis/internal/expr"
+)
+
+// cfg node kinds.
+type nodeKind int
+
+const (
+	nAwait nodeKind = iota
+	nCond
+	nAction
+	nHalt
+	nGoto // pass-through used for loop back edges
+)
+
+type cfgNode struct {
+	kind nodeKind
+
+	awaitSig string // nAwait
+	stateID  int
+
+	condExpr    expr.Expr // nCond: data predicate...
+	condPresent string    // ...or presence test
+	elseNext    *cfgNode
+
+	action Stmt // nAction: EmitStmt or AssignStmt
+
+	next *cfgNode
+}
+
+// Compile translates a parsed module into a CFSM: one control state
+// per await site (the classical reactive-program-to-FSM translation
+// for a single-threaded module). Straight-line code between awaits
+// becomes transition actions; if-statements become predicate or
+// presence guards. A data-free path from one await back to itself
+// without crossing another await (an instantaneous loop) is rejected.
+func Compile(m *Module) (*cfsm.CFSM, map[string]*cfsm.Signal, error) {
+	sigs := make(map[string]*cfsm.Signal)
+	for _, d := range m.Inputs {
+		if _, dup := sigs[d.Name]; dup {
+			return nil, nil, fmt.Errorf("esterel: duplicate signal %s", d.Name)
+		}
+		sigs[d.Name] = &cfsm.Signal{Name: d.Name, Pure: !d.Valued}
+	}
+	for _, d := range m.Outputs {
+		if _, dup := sigs[d.Name]; dup {
+			return nil, nil, fmt.Errorf("esterel: duplicate signal %s", d.Name)
+		}
+		sigs[d.Name] = &cfsm.Signal{Name: d.Name, Pure: !d.Valued}
+	}
+	return compileResolved(m, sigs)
+}
+
+// compileResolved compiles a module against pre-resolved signal
+// objects (shared across a program's modules by CompileProgram).
+func compileResolved(m *Module, sigs map[string]*cfsm.Signal) (*cfsm.CFSM, map[string]*cfsm.Signal, error) {
+	c := cfsm.New(m.Name)
+	seenIn := map[string]bool{}
+	for _, d := range m.Inputs {
+		if seenIn[d.Name] {
+			return nil, nil, fmt.Errorf("esterel: duplicate signal %s", d.Name)
+		}
+		seenIn[d.Name] = true
+		c.AttachInput(sigs[d.Name])
+	}
+	for _, d := range m.Outputs {
+		if seenIn[d.Name] {
+			return nil, nil, fmt.Errorf("esterel: duplicate signal %s", d.Name)
+		}
+		seenIn[d.Name] = true
+		c.AttachOutput(sigs[d.Name])
+	}
+	vars := make(map[string]*VarDecl, len(m.Vars))
+	for i := range m.Vars {
+		if _, dup := vars[m.Vars[i].Name]; dup {
+			return nil, nil, fmt.Errorf("esterel: duplicate variable %s", m.Vars[i].Name)
+		}
+		vars[m.Vars[i].Name] = &m.Vars[i]
+	}
+
+	// Build the control-flow graph.
+	halt := &cfgNode{kind: nHalt}
+	var awaits []*cfgNode
+	var build func(stmts []Stmt, cont *cfgNode) (*cfgNode, error)
+	build = func(stmts []Stmt, cont *cfgNode) (*cfgNode, error) {
+		cur := cont
+		for i := len(stmts) - 1; i >= 0; i-- {
+			switch s := stmts[i].(type) {
+			case AwaitStmt:
+				if _, ok := sigs[s.Signal]; !ok {
+					return nil, fmt.Errorf("esterel: await of undeclared signal %s", s.Signal)
+				}
+				n := &cfgNode{kind: nAwait, awaitSig: s.Signal, next: cur}
+				awaits = append(awaits, n)
+				cur = n
+			case EmitStmt:
+				if _, ok := sigs[s.Signal]; !ok {
+					return nil, fmt.Errorf("esterel: emit of undeclared signal %s", s.Signal)
+				}
+				cur = &cfgNode{kind: nAction, action: s, next: cur}
+			case AssignStmt:
+				if _, ok := vars[s.Var]; !ok {
+					return nil, fmt.Errorf("esterel: assignment to undeclared variable %s", s.Var)
+				}
+				cur = &cfgNode{kind: nAction, action: s, next: cur}
+			case NothingStmt:
+				// no node
+			case IfStmt:
+				thenN, err := build(s.Then, cur)
+				if err != nil {
+					return nil, err
+				}
+				elseN, err := build(s.Else, cur)
+				if err != nil {
+					return nil, err
+				}
+				if s.Present != "" {
+					if _, ok := sigs[s.Present]; !ok {
+						return nil, fmt.Errorf("esterel: presence test of undeclared signal %s", s.Present)
+					}
+				}
+				cur = &cfgNode{kind: nCond, condExpr: s.Cond, condPresent: s.Present,
+					next: thenN, elseNext: elseN}
+			case RepeatStmt:
+				// Static unroll: the body repeats Count times.
+				for k := int64(0); k < s.Count; k++ {
+					body, err := build(s.Body, cur)
+					if err != nil {
+						return nil, err
+					}
+					cur = body
+				}
+			case LoopStmt:
+				// The loop's body continues into a back edge that
+				// re-enters it.
+				back := &cfgNode{kind: nGoto}
+				body, err := build(s.Body, back)
+				if err != nil {
+					return nil, err
+				}
+				if body == back {
+					return nil, fmt.Errorf("esterel: empty loop in %s", m.Name)
+				}
+				back.next = body
+				cur = body
+			default:
+				return nil, fmt.Errorf("esterel: unsupported statement %T", s)
+			}
+		}
+		return cur, nil
+	}
+	entry, err := build(m.Body, halt)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Fold the initial straight-line prefix (constant assignments
+	// only) into state-variable initial values, stopping at the
+	// first await.
+	inits := make(map[string]int64)
+	for _, v := range m.Vars {
+		inits[v.Name] = v.Init
+	}
+	for entry.kind == nGoto {
+		entry = entry.next
+	}
+	for entry.kind == nAction {
+		as, ok := entry.action.(AssignStmt)
+		if !ok {
+			return nil, nil, fmt.Errorf("esterel: %s: emissions before the first await are not supported", m.Name)
+		}
+		kv, ok := as.Expr.(expr.Const)
+		if !ok {
+			return nil, nil, fmt.Errorf("esterel: %s: only constant assignments allowed before the first await", m.Name)
+		}
+		inits[as.Var] = int64(kv)
+		entry = entry.next
+	}
+	if entry.kind != nAwait && entry.kind != nHalt {
+		return nil, nil, fmt.Errorf("esterel: %s: module body must reach an await without branching", m.Name)
+	}
+
+	// Number the reachable await states (entry first) plus a halt
+	// state when reachable.
+	var states []*cfgNode
+	seen := make(map[*cfgNode]bool)
+	haltReachable := false
+	var mark func(n *cfgNode)
+	mark = func(n *cfgNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		switch n.kind {
+		case nHalt:
+			haltReachable = true
+		case nAwait:
+			n.stateID = len(states)
+			states = append(states, n)
+			mark(n.next)
+		case nCond:
+			mark(n.next)
+			mark(n.elseNext)
+		case nAction, nGoto:
+			mark(n.next)
+		}
+	}
+	mark(entry)
+	numStates := len(states)
+	haltID := numStates
+	if haltReachable {
+		numStates++
+	}
+
+	var pc *cfsm.StateVar
+	if numStates > 1 {
+		initID := 0
+		if entry.kind == nHalt {
+			initID = haltID
+		} else {
+			initID = entry.stateID
+		}
+		pc = c.AddState("pc_"+m.Name, numStates, int64(initID))
+	} else if entry.kind == nHalt {
+		// Degenerate: module does nothing.
+	}
+	svs := make(map[string]*cfsm.StateVar, len(m.Vars))
+	for _, v := range m.Vars {
+		svs[v.Name] = c.AddState(v.Name, 0, inits[v.Name])
+	}
+
+	// Path enumeration from each await. Esterel statements execute in
+	// sequence, while CFSM actions all read the pre-reaction state, so
+	// assignments are forwarded symbolically along each path: later
+	// reads of an assigned variable substitute its folded expression,
+	// and each variable ends up assigned exactly once per transition.
+	type pathState struct {
+		conds       []cfsm.Cond
+		emits       []*cfsm.Action
+		assignOrder []string
+		sub         map[string]expr.Expr
+	}
+	clonePS := func(ps pathState) pathState {
+		sub := make(map[string]expr.Expr, len(ps.sub))
+		for k, v := range ps.sub {
+			sub[k] = v
+		}
+		return pathState{
+			conds:       append([]cfsm.Cond(nil), ps.conds...),
+			emits:       append([]*cfsm.Action(nil), ps.emits...),
+			assignOrder: append([]string(nil), ps.assignOrder...),
+			sub:         sub,
+		}
+	}
+	var emitTransition func(from *cfgNode, ps pathState, target int)
+	emitTransition = func(from *cfgNode, ps pathState, target int) {
+		guard := make([]cfsm.Cond, 0, len(ps.conds)+2)
+		if pc != nil {
+			guard = append(guard, cfsm.On(c.Sel(pc), from.stateID))
+		}
+		guard = append(guard, cfsm.On(c.Present(sigs[from.awaitSig]), 1))
+		guard = append(guard, ps.conds...)
+		actions := append([]*cfsm.Action(nil), ps.emits...)
+		for _, name := range ps.assignOrder {
+			actions = append(actions, c.Assign(svs[name], ps.sub[name]))
+		}
+		if pc != nil {
+			actions = append(actions, c.Assign(pc, expr.C(int64(target))))
+		}
+		c.AddTransition(guard, actions...)
+	}
+
+	var walkErr error
+	var walk func(from *cfgNode, n *cfgNode, ps pathState, onPath map[*cfgNode]bool)
+	walk = func(from *cfgNode, n *cfgNode, ps pathState, onPath map[*cfgNode]bool) {
+		if walkErr != nil {
+			return
+		}
+		switch n.kind {
+		case nAwait:
+			emitTransition(from, ps, n.stateID)
+		case nHalt:
+			emitTransition(from, ps, haltID)
+		case nGoto:
+			if onPath[n] {
+				walkErr = fmt.Errorf("esterel: %s: instantaneous loop (no await on a cycle)", m.Name)
+				return
+			}
+			onPath[n] = true
+			walk(from, n.next, ps, onPath)
+			delete(onPath, n)
+		case nAction:
+			if onPath[n] {
+				walkErr = fmt.Errorf("esterel: %s: instantaneous loop (no await on a cycle)", m.Name)
+				return
+			}
+			onPath[n] = true
+			ps2 := clonePS(ps)
+			switch a := n.action.(type) {
+			case EmitStmt:
+				if a.Value != nil {
+					ps2.emits = append(ps2.emits, c.EmitV(sigs[a.Signal], expr.Subst(a.Value, ps2.sub)))
+				} else {
+					ps2.emits = append(ps2.emits, c.Emit(sigs[a.Signal]))
+				}
+			case AssignStmt:
+				folded := expr.Subst(a.Expr, ps2.sub)
+				if _, seen := ps2.sub[a.Var]; !seen {
+					ps2.assignOrder = append(ps2.assignOrder, a.Var)
+				}
+				ps2.sub[a.Var] = folded
+			}
+			walk(from, n.next, ps2, onPath)
+			delete(onPath, n)
+		case nCond:
+			if onPath[n] {
+				walkErr = fmt.Errorf("esterel: %s: instantaneous loop (no await on a cycle)", m.Name)
+				return
+			}
+			onPath[n] = true
+			var test *cfsm.Test
+			if n.condPresent != "" {
+				test = c.Present(sigs[n.condPresent])
+			} else {
+				test = c.Pred(expr.Subst(n.condExpr, ps.sub))
+			}
+			for _, val := range []int{1, 0} {
+				conds, clash := addCond(ps.conds, cfsm.On(test, val))
+				if clash {
+					continue
+				}
+				tgt := n.next
+				if val == 0 {
+					tgt = n.elseNext
+				}
+				ps2 := clonePS(ps)
+				ps2.conds = conds
+				walk(from, tgt, ps2, onPath)
+			}
+			delete(onPath, n)
+		}
+	}
+	for _, a := range states {
+		walk(a, a.next, pathState{sub: map[string]expr.Expr{}}, map[*cfgNode]bool{})
+		if walkErr != nil {
+			return nil, nil, walkErr
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return c, sigs, nil
+}
+
+// addCond appends a guard condition, reporting conflicts.
+func addCond(conds []cfsm.Cond, nc cfsm.Cond) ([]cfsm.Cond, bool) {
+	for _, old := range conds {
+		if old.Test == nc.Test {
+			if old.Val != nc.Val {
+				return conds, true
+			}
+			return conds, false
+		}
+	}
+	out := make([]cfsm.Cond, 0, len(conds)+1)
+	out = append(out, conds...)
+	return append(out, nc), false
+}
+
+// MustCompile parses and compiles src, panicking on error; intended
+// for tests and example construction.
+func MustCompile(src string) (*cfsm.CFSM, map[string]*cfsm.Signal) {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	c, sigs, err := Compile(m)
+	if err != nil {
+		panic(err)
+	}
+	return c, sigs
+}

@@ -1,0 +1,105 @@
+// Package esterel implements a frontend for the Esterel-like reactive
+// subset the paper's examples use (Fig. 1): modules with signal
+// declarations, await/emit/assignment/if/loop statements, compiled to
+// CFSMs with one control state per await site. It stands in for the
+// Esterel-to-SHIFT path ([36]) through which POLIS accepted Esterel
+// specifications while keeping the designer-chosen CFSM granularity.
+package esterel
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol  // punctuation and operators
+	tokKeyword // reserved words
+)
+
+var keywords = map[string]bool{
+	"module": true, "input": true, "output": true, "var": true, "in": true,
+	"loop": true, "repeat": true, "times": true, "end": true, "await": true, "emit": true, "if": true,
+	"then": true, "else": true, "present": true, "integer": true,
+	"and": true, "or": true, "not": true, "nothing": true, "mod": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex splits the source into tokens; it is total (errors surface as
+// unexpected symbols at parse time).
+func lex(src string) []token {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			kind := tokIdent
+			if keywords[strings.ToLower(word)] {
+				kind = tokKeyword
+				word = strings.ToLower(word)
+			}
+			l.toks = append(l.toks, token{kind, word, l.line})
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], l.line})
+		default:
+			// Multi-character operators first.
+			rest := l.src[l.pos:]
+			for _, op := range []string{":=", "<=", ">=", "<>"} {
+				if strings.HasPrefix(rest, op) {
+					l.toks = append(l.toks, token{tokSymbol, op, l.line})
+					l.pos += len(op)
+					goto next
+				}
+			}
+			l.toks = append(l.toks, token{tokSymbol, string(c), l.line})
+			l.pos++
+		next:
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.line})
+	return l.toks
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// parseError formats a located syntax error.
+func parseError(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("esterel: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}

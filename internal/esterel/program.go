@@ -1,0 +1,143 @@
+package esterel
+
+import (
+	"fmt"
+
+	"polis/internal/cfsm"
+)
+
+// ParseProgram parses a source file containing one or more modules.
+func ParseProgram(src string) ([]*Module, error) {
+	p := &parser{toks: lex(src)}
+	var mods []*Module
+	for !p.atEOF() {
+		// Re-parse module by module: find each module's token span by
+		// delegating to Parse on the remaining tokens.
+		m, rest, err := parseOne(p)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+		p = rest
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("esterel: no modules in source")
+	}
+	return mods, nil
+}
+
+// parseOne consumes exactly one module from the parser and returns the
+// remainder.
+func parseOne(p *parser) (*Module, *parser, error) {
+	start := p.pos
+	depth := 0
+	for i := start; i < len(p.toks); i++ {
+		t := p.toks[i]
+		if t.kind == tokKeyword {
+			switch t.text {
+			case "module":
+				depth++
+			}
+			if t.text == "end" && i+1 < len(p.toks) &&
+				p.toks[i+1].kind == tokKeyword && p.toks[i+1].text == "module" {
+				depth--
+				if depth == 0 {
+					span := append([]token{}, p.toks[start:i+2]...)
+					span = append(span, token{kind: tokEOF, line: p.toks[i+1].line})
+					sub := &parser{toks: span}
+					m, err := parseModule(sub)
+					if err != nil {
+						return nil, nil, err
+					}
+					return m, &parser{toks: p.toks, pos: i + 2}, nil
+				}
+			}
+		}
+	}
+	return nil, nil, parseError(p.toks[start], "unterminated module")
+}
+
+// CompileProgram compiles all modules of a source file into a network:
+// signals with the same name connect modules (an output of one module
+// feeding the equally named input of another becomes an internal
+// one-place-buffered channel). Signal types (pure/valued) must agree
+// across modules.
+func CompileProgram(src string) (*cfsm.Network, map[string]*cfsm.CFSM, error) {
+	mods, err := ParseProgram(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	name := mods[0].Name
+	if len(mods) > 1 {
+		name = name + "_system"
+	}
+	n := cfsm.NewNetwork(name)
+	sigByName := make(map[string]*cfsm.Signal)
+	pureOf := make(map[string]bool)
+	getSignal := func(d SigDecl) (*cfsm.Signal, error) {
+		if s, ok := sigByName[d.Name]; ok {
+			if pureOf[d.Name] != !d.Valued {
+				return nil, fmt.Errorf("esterel: signal %s declared both pure and valued", d.Name)
+			}
+			return s, nil
+		}
+		s := n.NewSignal(d.Name, !d.Valued)
+		sigByName[d.Name] = s
+		pureOf[d.Name] = !d.Valued
+		return s, nil
+	}
+
+	machines := make(map[string]*cfsm.CFSM, len(mods))
+	for _, mod := range mods {
+		if _, dup := machines[mod.Name]; dup {
+			return nil, nil, fmt.Errorf("esterel: duplicate module %s", mod.Name)
+		}
+		// Compile the module in isolation, then rebuild it against
+		// the shared network signals. Compiling twice is wasteful but
+		// keeps Compile's single-module contract simple; module sizes
+		// make it immaterial.
+		c, _, err := compileWithSignals(mod, getSignal)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Prefix state variables with the module name would break
+		// expressions; instead require network-unique names, which
+		// Network.Validate enforces below (pc variables are already
+		// module-qualified).
+		machines[mod.Name] = c
+		if err := n.Add(c); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return n, machines, nil
+}
+
+// compileWithSignals compiles one module using a shared signal
+// resolver instead of fresh per-module signals.
+func compileWithSignals(m *Module, getSignal func(SigDecl) (*cfsm.Signal, error)) (*cfsm.CFSM, map[string]*cfsm.Signal, error) {
+	// Rebuild the module with pre-resolved signals by temporarily
+	// compiling against a shadow CFSM: Compile allocates its own
+	// signals, so instead we inline its logic via a signal-injection
+	// shim — the cleanest hook is to compile normally and then remap,
+	// but Signal identity is baked into tests/actions. So: resolve
+	// first, then run a Compile variant that accepts the signals.
+	sigs := make(map[string]*cfsm.Signal)
+	for _, d := range m.Inputs {
+		s, err := getSignal(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		sigs[d.Name] = s
+	}
+	for _, d := range m.Outputs {
+		s, err := getSignal(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		sigs[d.Name] = s
+	}
+	return compileResolved(m, sigs)
+}

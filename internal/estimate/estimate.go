@@ -1,0 +1,295 @@
+package estimate
+
+import (
+	"polis/internal/cfsm"
+	"polis/internal/codegen"
+	"polis/internal/expr"
+	"polis/internal/sgraph"
+)
+
+// Result is a complete cost estimate for one CFSM routine.
+type Result struct {
+	// CodeBytes estimates the ROM footprint of the routine.
+	CodeBytes int64
+	// DataBytes estimates the RAM footprint (state, copies, temps).
+	DataBytes int64
+	// MinCycles and MaxCycles bound a single transition's execution
+	// time (Dijkstra shortest path / PERT longest path over the
+	// s-graph, Section III-C1).
+	MinCycles int64
+	MaxCycles int64
+}
+
+// Micros converts cycles to microseconds under the target clock.
+func (r Result) Micros(p *Params, cycles int64) float64 {
+	return float64(cycles) * 1000.0 / float64(p.ClockKHz)
+}
+
+// Options tunes the estimator.
+type Options struct {
+	// Codegen mirrors the code-generation options the estimate
+	// should assume (copy optimisation, if/switch threshold).
+	Codegen codegen.Options
+	// UseFalsePaths enables pruning of statically infeasible paths
+	// using the CFSM's mutual-exclusion information ("event
+	// incompatibility relations"), tightening MaxCycles.
+	UseFalsePaths bool
+}
+
+// vertexCost is the estimated cycles of the vertex body (excluding
+// per-edge costs) and its code size.
+func vertexCost(p *Params, opts Options, v *sgraph.Vertex) (cyc, sz int64) {
+	switch v.Kind {
+	case sgraph.Begin, sgraph.End:
+		return 0, 0
+	case sgraph.Assign:
+		a := v.Action
+		switch a.Kind {
+		case cfsm.ActEmit:
+			if a.Value == nil {
+				return p.AssignEmitCyc, p.AssignEmitSz
+			}
+			c, s := p.ExprCost(a.Value)
+			return c + p.AssignEmitValuedCyc, s + p.AssignEmitVSz
+		default:
+			c, s := p.ExprCost(a.Expr)
+			return c + p.AssignStoreCyc, s + p.AssignStoreSz
+		}
+	case sgraph.Test:
+		if len(v.Tests) == 1 && v.Tests[0].Arity() == 2 {
+			t := v.Tests[0]
+			switch t.Kind {
+			case cfsm.TestPresence:
+				return 0, p.TestPresenceSz // timing handled per edge
+			case cfsm.TestPredicate:
+				c, s := p.ExprCost(t.Pred)
+				return c, s + p.TestBoolSz
+			default:
+				return p.TestSelLoadCyc, p.TestSelLoadSz + p.TestBoolSz
+			}
+		}
+		// Multi-way: index computation plus dispatch.
+		var c, s int64
+		for _, t := range v.Tests {
+			c += p.TestIdxStepCyc
+			s += p.TestIdxStepSz
+			switch t.Kind {
+			case cfsm.TestPresence:
+				c += p.TestPresenceCyc[0] - p.TestBoolCyc[0] // the SVC part
+				s += p.TestPresenceSz - p.TestBoolSz
+			case cfsm.TestPredicate:
+				ec, es := p.ExprCost(t.Pred)
+				c += ec + 2*p.ExprUnaryCyc
+				s += es + 4
+			default:
+				c += p.TestSelLoadCyc
+				s += p.TestSelLoadSz
+			}
+		}
+		arity := int64(v.Arity())
+		threshold := opts.Codegen.IfThreshold
+		if threshold == 0 {
+			threshold = 2
+		}
+		if int(arity) <= threshold {
+			// Compare-and-branch chain: one LDI+BR per non-zero
+			// outcome; approximate per-arm cost with the Boolean
+			// branch parameters.
+			c += (arity - 1) * (p.ExprConstCyc + p.TestBoolCyc[0])
+			s += (arity - 1) * (p.ExprConstSz + p.TestBoolSz)
+			return c, s
+		}
+		c += p.TestMultiBaseCyc
+		s += p.TestMultiBaseSz + arity*p.TestMultiPerSz
+		return c, s
+	}
+	return 0, 0
+}
+
+// edgeCost is the estimated cycles of taking the k-th edge out of v.
+func edgeCost(p *Params, opts Options, v *sgraph.Vertex, k int) int64 {
+	if v.Kind != sgraph.Test {
+		return 0
+	}
+	if len(v.Tests) == 1 && v.Tests[0].Arity() == 2 {
+		t := v.Tests[0]
+		if t.Kind == cfsm.TestPresence {
+			return p.TestPresenceCyc[k]
+		}
+		return p.TestBoolCyc[k]
+	}
+	threshold := opts.Codegen.IfThreshold
+	if threshold == 0 {
+		threshold = 2
+	}
+	if v.Arity() <= threshold {
+		// k-th arm of the compare chain: k comparisons before the hit.
+		return int64(k) * (p.ExprConstCyc + p.TestBoolCyc[1])
+	}
+	return int64(k) * p.TestMultiPerEdgeCyc
+}
+
+// EstimateSGraph computes the estimate by a single traversal of the
+// s-graph, as the paper's estimator does: code size is the sum of the
+// per-vertex size parameters, timing bounds come from shortest and
+// longest path.
+func EstimateSGraph(g *sgraph.SGraph, p *Params, opts Options) Result {
+	var res Result
+	plan := codegen.AnalyzeCopies(g)
+
+	// --- entry overhead ---
+	var entryCyc, entrySz int64
+	entryCyc += p.CallReturnCyc
+	entrySz += p.CallReturnSz
+	copies := 0
+	for _, sv := range g.C.States {
+		need := plan.Read[sv]
+		if opts.Codegen.OptimizeCopies {
+			need = plan.NeedCopy[sv]
+		}
+		if need {
+			copies++
+			entryCyc += p.LocalCopyCyc
+			entrySz += p.LocalCopySz
+		}
+	}
+	valueFetches := 0
+	for _, sig := range g.C.Inputs {
+		if !sig.Pure && plan.ValueRead[sig] {
+			valueFetches++
+			entryCyc += p.ValueFetchCyc
+			entrySz += p.ValueFetchSz
+		}
+	}
+
+	// --- per-vertex size, and timing DP over the DAG ---
+	order := g.Reachable()
+	idx := make(map[*sgraph.Vertex]int, len(order))
+	for i, v := range order {
+		idx[v] = i
+	}
+	var sz int64
+	// The emitter falls through to the DFS-next vertex; every other
+	// edge needs a goto: fold the goto bytes into code size and the
+	// goto time into the corresponding edge. Shortest/longest path
+	// over the DAG by memoised recursion (DFS pre-order is not a
+	// reverse-topological order when children are shared).
+	fallsThrough := func(i int, w *sgraph.Vertex) bool {
+		return i+1 < len(order) && order[i+1] == w
+	}
+	type bounds struct{ min, max int64 }
+	memo := make(map[*sgraph.Vertex]bounds, len(order))
+	var visit func(v *sgraph.Vertex) bounds
+	visit = func(v *sgraph.Vertex) bounds {
+		if b, ok := memo[v]; ok {
+			return b
+		}
+		i := idx[v]
+		vc, vs := vertexCost(p, opts, v)
+		sz += vs
+		var b bounds
+		switch v.Kind {
+		case sgraph.End:
+			b = bounds{vc, vc}
+		case sgraph.Test:
+			first := true
+			for k, w := range v.Children {
+				e := edgeCost(p, opts, v, k)
+				if !fallsThrough(i, w) && k == 0 {
+					// Outcome 0 is the fall-through arm in the
+					// generated code; a displaced child needs a goto.
+					e += p.GotoCyc
+					sz += p.GotoSz
+				}
+				cb := visit(w)
+				cMin := vc + e + cb.min
+				cMax := vc + e + cb.max
+				if first {
+					b = bounds{cMin, cMax}
+					first = false
+					continue
+				}
+				if cMin < b.min {
+					b.min = cMin
+				}
+				if cMax > b.max {
+					b.max = cMax
+				}
+			}
+		default: // Begin, Assign
+			e := int64(0)
+			if !fallsThrough(i, v.Next) {
+				e = p.GotoCyc
+				sz += p.GotoSz
+			}
+			cb := visit(v.Next)
+			b = bounds{vc + e + cb.min, vc + e + cb.max}
+		}
+		memo[v] = b
+		return b
+	}
+	root := visit(g.Begin)
+	res.CodeBytes = entrySz + sz
+	res.MinCycles = entryCyc + root.min
+	res.MaxCycles = entryCyc + root.max
+	if opts.UseFalsePaths {
+		if mx, ok := maxWithFalsePaths(g, p, opts, entryCyc); ok && mx < res.MaxCycles {
+			res.MaxCycles = mx
+		}
+	}
+
+	// --- RAM: persistent state + copies + value copies + spill temps ---
+	words := len(g.C.States) + copies + valueFetches + exprDepth(g)
+	res.DataBytes = int64(words * p.IntBytes)
+	return res
+}
+
+// exprDepth returns the maximum binary-operator nesting over all
+// expressions in the graph: the number of spill temporaries codegen
+// allocates.
+func exprDepth(g *sgraph.SGraph) int {
+	max := 0
+	note := func(d int) {
+		if d > max {
+			max = d
+		}
+	}
+	for _, v := range g.Reachable() {
+		switch v.Kind {
+		case sgraph.Test:
+			for _, t := range v.Tests {
+				if t.Kind == cfsm.TestPredicate {
+					note(depthOf(t.Pred))
+				}
+			}
+		case sgraph.Assign:
+			a := v.Action
+			if a.Kind == cfsm.ActEmit && a.Value != nil {
+				note(depthOf(a.Value))
+			}
+			if a.Kind == cfsm.ActAssign {
+				note(depthOf(a.Expr))
+			}
+		}
+	}
+	return max
+}
+
+// depthOf returns the number of spill temporaries expression e needs
+// under the code generator's schema: a binary node holds one temporary
+// while its right operand evaluates.
+func depthOf(e expr.Expr) int {
+	switch x := e.(type) {
+	case *expr.Bin:
+		l := depthOf(x.L)
+		r := 1 + depthOf(x.R)
+		if l > r {
+			return l
+		}
+		return r
+	case *expr.Un:
+		return depthOf(x.X)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,180 @@
+// Package estimate implements the software cost and performance
+// estimation of Section III-C: cost parameters are determined for a
+// target system by measuring sample code patterns, then applied to the
+// s-graph to compute code size (a sum over vertices), minimum
+// execution cycles (shortest path, Dijkstra) and maximum execution
+// cycles (longest path, PERT), without compiling or running the CFSM
+// itself.
+package estimate
+
+import (
+	"fmt"
+	"strings"
+
+	"polis/internal/expr"
+	"polis/internal/vm"
+)
+
+// Params holds the calibrated cost parameters of one target system.
+// The paper uses 17 parameters for execution cycles, 15 for code size
+// and 4 system characterisation parameters; the fields below carry the
+// same information (per-edge TEST costs, RTOS-call costs, assignment
+// costs, branch cost, routine call/return cost, local initialisation
+// cost, a ~20-entry library table for arithmetic operators, and the
+// pointer/integer sizes).
+type Params struct {
+	Target *vm.Profile
+
+	// --- timing parameters (cycles) ---
+
+	// TestPresenceCyc is the cost of a presence TEST (an RTOS call
+	// plus the conditional branch); index 0 is the not-taken edge,
+	// index 1 the taken edge.
+	TestPresenceCyc [2]int64
+	// TestBoolCyc is the branch cost of a Boolean predicate TEST on
+	// top of the predicate expression cost.
+	TestBoolCyc [2]int64
+	// TestSelLoadCyc is the state load of a selector TEST.
+	TestSelLoadCyc int64
+	// TestMultiBaseCyc and TestMultiPerEdgeCyc give the a + b*i
+	// dispatch cost of a multi-way TEST (the paper's two-parameter
+	// model for nodes with more than three edges).
+	TestMultiBaseCyc    int64
+	TestMultiPerEdgeCyc int64
+	// TestIdxStepCyc is the per-test accumulation cost when a
+	// collapsed TEST combines several outcomes into one index.
+	TestIdxStepCyc int64
+	// AssignEmitCyc is an event emission (RTOS call).
+	AssignEmitCyc int64
+	// AssignEmitValuedCyc is a valued emission beyond its expression.
+	AssignEmitValuedCyc int64
+	// AssignStoreCyc is the store completing a state assignment.
+	AssignStoreCyc int64
+	// GotoCyc is an unconditional branch.
+	GotoCyc int64
+	// CallReturnCyc is routine entry plus exit.
+	CallReturnCyc int64
+	// LocalCopyCyc is one copy-on-entry of a state variable.
+	LocalCopyCyc int64
+	// ValueFetchCyc is one input-value fetch on entry (RTOS call).
+	ValueFetchCyc int64
+	// ExprConstCyc and ExprRefCyc are operand costs.
+	ExprConstCyc int64
+	ExprRefCyc   int64
+	// ExprUnaryCyc is a unary operator.
+	ExprUnaryCyc int64
+	// ExprOpCyc is the library-function table: per-operator cost
+	// including partial-result handling.
+	ExprOpCyc map[expr.Op]int64
+
+	// --- size parameters (bytes) ---
+
+	TestPresenceSz  int64
+	TestBoolSz      int64
+	TestSelLoadSz   int64
+	TestMultiBaseSz int64
+	TestMultiPerSz  int64 // per table entry
+	TestIdxStepSz   int64
+	AssignEmitSz    int64
+	AssignEmitVSz   int64
+	AssignStoreSz   int64
+	GotoSz          int64
+	CallReturnSz    int64
+	LocalCopySz     int64
+	ValueFetchSz    int64
+	ExprConstSz     int64
+	ExprRefSz       int64
+	ExprOpSz        map[expr.Op]int64
+
+	// --- system parameters ---
+
+	IntBytes int
+	PtrBytes int
+	WordSize int
+	ClockKHz int
+}
+
+// ExprCost returns the estimated cycles and bytes of evaluating e.
+func (p *Params) ExprCost(e expr.Expr) (cyc, sz int64) {
+	switch x := e.(type) {
+	case expr.Const:
+		return p.ExprConstCyc, p.ExprConstSz
+	case expr.Ref:
+		return p.ExprRefCyc, p.ExprRefSz
+	case *expr.Un:
+		c, s := p.ExprCost(x.X)
+		return c + p.ExprUnaryCyc, s + 2
+	case *expr.Bin:
+		cl, sl := p.ExprCost(x.L)
+		cr, sr := p.ExprCost(x.R)
+		return cl + cr + p.ExprOpCyc[x.Op], sl + sr + p.ExprOpSz[x.Op]
+	}
+	return 0, 0
+}
+
+// Format renders the calibrated parameter set in the style of the
+// paper's description: the execution-cycle parameters, the code-size
+// parameters, the system characterisation parameters and the software
+// library table.
+func (p *Params) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Calibrated cost parameters, target %s\n", p.Target.Name)
+	fmt.Fprintf(&b, "timing (cycles):\n")
+	rows := []struct {
+		name string
+		v    int64
+	}{
+		{"test presence, not taken", p.TestPresenceCyc[0]},
+		{"test presence, taken", p.TestPresenceCyc[1]},
+		{"test boolean, not taken", p.TestBoolCyc[0]},
+		{"test boolean, taken", p.TestBoolCyc[1]},
+		{"selector state load", p.TestSelLoadCyc},
+		{"multiway dispatch base", p.TestMultiBaseCyc},
+		{"multiway dispatch per edge", p.TestMultiPerEdgeCyc},
+		{"collapsed-test index step", p.TestIdxStepCyc},
+		{"emit event (RTOS call)", p.AssignEmitCyc},
+		{"emit valued event", p.AssignEmitValuedCyc},
+		{"assignment store", p.AssignStoreCyc},
+		{"goto", p.GotoCyc},
+		{"call/return", p.CallReturnCyc},
+		{"copy-on-entry", p.LocalCopyCyc},
+		{"input value fetch", p.ValueFetchCyc},
+		{"constant operand", p.ExprConstCyc},
+		{"variable operand", p.ExprRefCyc},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %5d\n", r.name, r.v)
+	}
+	fmt.Fprintf(&b, "size (bytes):\n")
+	srows := []struct {
+		name string
+		v    int64
+	}{
+		{"test presence", p.TestPresenceSz},
+		{"test boolean", p.TestBoolSz},
+		{"selector state load", p.TestSelLoadSz},
+		{"multiway dispatch base", p.TestMultiBaseSz},
+		{"multiway table per entry", p.TestMultiPerSz},
+		{"collapsed-test index step", p.TestIdxStepSz},
+		{"emit event", p.AssignEmitSz},
+		{"emit valued event", p.AssignEmitVSz},
+		{"assignment store", p.AssignStoreSz},
+		{"goto", p.GotoSz},
+		{"call/return", p.CallReturnSz},
+		{"copy-on-entry", p.LocalCopySz},
+		{"input value fetch", p.ValueFetchSz},
+		{"constant operand", p.ExprConstSz},
+		{"variable operand", p.ExprRefSz},
+	}
+	for _, r := range srows {
+		fmt.Fprintf(&b, "  %-28s %5d\n", r.name, r.v)
+	}
+	fmt.Fprintf(&b, "system: int %d B, pointer %d B, word %d B, clock %d kHz\n",
+		p.IntBytes, p.PtrBytes, p.WordSize, p.ClockKHz)
+	fmt.Fprintf(&b, "library (cycles): ")
+	for op := expr.Op(0); op < expr.Op(expr.NumOps()); op++ {
+		fmt.Fprintf(&b, "%s=%d ", op.Name(), p.ExprOpCyc[op])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"polis/internal/vm"
+)
+
+// TestPrintAllTables regenerates every table and writes the combined
+// report; run with -v to inspect, and the file feeds EXPERIMENTS.md.
+func TestPrintAllTables(t *testing.T) {
+	if os.Getenv("POLIS_PRINT") == "" {
+		t.Skip("set POLIS_PRINT=1 to emit the full report")
+	}
+	hc := vm.HC11()
+	r3 := vm.R3K()
+	t1, err := Table1(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatTable1(hc, t1), "\n")
+	t1r, err := Table1(r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatTable1(r3, t1r), "\n")
+	t2, err := Table2(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatTable2(hc, t2), "\n")
+	t3, err := Table3(r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatTable3(r3, t3), "\n")
+	sa, err := ShockAbsorberExperiment(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatShock(hc, sa), "\n")
+	cl, err := AblationCollapse(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatCollapse(hc, cl), "\n")
+	ro, err := AblationRTOS(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatRTOS(hc, ro), "\n")
+	cp, err := AblationCopies(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatCopies(hc, cp), "\n")
+	fp, err := AblationFalsePaths(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatFalsePaths(hc, fp), "\n")
+}
+
+func TestPrintPartition(t *testing.T) {
+	if os.Getenv("POLIS_PRINT") == "" {
+		t.Skip("set POLIS_PRINT=1 to emit the report")
+	}
+	rows, err := PartitionSweep(vm.HC11())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatPartition(vm.HC11(), rows))
+}

@@ -1,0 +1,222 @@
+// Package randcfsm generates random deterministic CFSMs for
+// cross-implementation differential testing: the reference interpreter,
+// the s-graph under every ordering, the boolean-circuit code, the
+// two-level jump baseline and the virtual-machine executions of each
+// must all agree on every snapshot.
+package randcfsm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polis/internal/cfsm"
+	"polis/internal/expr"
+)
+
+// Config bounds the generated machines.
+type Config struct {
+	MaxInputs      int // >=1; mix of pure and valued
+	MaxOutputs     int // >=1
+	MaxControlVars int // selector state variables
+	MaxDataVars    int // integer state variables
+	MaxTransitions int
+	ValueRange     int64 // input values and constants in [0, ValueRange)
+}
+
+// DefaultConfig returns modest bounds that keep exhaustive checking
+// cheap.
+func DefaultConfig() Config {
+	return Config{
+		MaxInputs:      3,
+		MaxOutputs:     3,
+		MaxControlVars: 2,
+		MaxDataVars:    2,
+		MaxTransitions: 8,
+		ValueRange:     5,
+	}
+}
+
+// Machine bundles a generated CFSM with handles the checker needs.
+type Machine struct {
+	C       *cfsm.CFSM
+	Inputs  []*cfsm.Signal
+	Outputs []*cfsm.Signal
+	Rng     *rand.Rand
+	Range   int64
+}
+
+// New generates a random deterministic machine. Determinism is
+// guaranteed structurally: transitions are built from a random
+// decision tree over the machine's tests, so guards are pairwise
+// disjoint by construction.
+func New(r *rand.Rand, cfg Config) *Machine {
+	c := cfsm.New(fmt.Sprintf("rand%d", r.Intn(1<<30)))
+	m := &Machine{C: c, Rng: r, Range: cfg.ValueRange}
+
+	nin := 1 + r.Intn(cfg.MaxInputs)
+	for i := 0; i < nin; i++ {
+		pure := r.Intn(2) == 0
+		m.Inputs = append(m.Inputs, c.AddInput(fmt.Sprintf("i%d", i), pure))
+	}
+	nout := 1 + r.Intn(cfg.MaxOutputs)
+	for i := 0; i < nout; i++ {
+		pure := r.Intn(2) == 0
+		m.Outputs = append(m.Outputs, c.AddOutput(fmt.Sprintf("o%d", i), pure))
+	}
+	var ctrl []*cfsm.StateVar
+	for i := 0; i < r.Intn(cfg.MaxControlVars+1); i++ {
+		ctrl = append(ctrl, c.AddState(fmt.Sprintf("q%d", i), 2+r.Intn(3), int64(r.Intn(2))))
+	}
+	var data []*cfsm.StateVar
+	for i := 0; i < r.Intn(cfg.MaxDataVars+1); i++ {
+		data = append(data, c.AddState(fmt.Sprintf("d%d", i), 0, int64(r.Intn(int(cfg.ValueRange)))))
+	}
+
+	// The test pool.
+	var tests []*cfsm.Test
+	for _, in := range m.Inputs {
+		tests = append(tests, c.Present(in))
+	}
+	for _, sv := range ctrl {
+		tests = append(tests, c.Sel(sv))
+	}
+	for _, sv := range data {
+		tests = append(tests, c.Pred(expr.Lt(expr.V(sv.Name), expr.C(1+r.Int63n(cfg.ValueRange)))))
+	}
+	for _, in := range m.Inputs {
+		if !in.Pure && r.Intn(2) == 0 {
+			tests = append(tests, c.Pred(expr.Ge(expr.V("?"+in.Name), expr.C(r.Int63n(cfg.ValueRange)))))
+		}
+	}
+
+	// Build a random decision tree over distinct tests; each leaf
+	// either has no transition or a random action list. Disjointness
+	// of the leaves' guards makes the machine deterministic.
+	budget := cfg.MaxTransitions
+	var grow func(avail []*cfsm.Test, guard []cfsm.Cond, depth int)
+	grow = func(avail []*cfsm.Test, guard []cfsm.Cond, depth int) {
+		if budget <= 0 {
+			return
+		}
+		if len(avail) == 0 || depth >= 3 || r.Intn(3) == 0 {
+			// Leaf: 2-in-3 chance of a transition.
+			if r.Intn(3) != 0 && len(guard) > 0 {
+				acts := m.randActions(ctrl, data)
+				if len(acts) > 0 {
+					c.AddTransition(append([]cfsm.Cond(nil), guard...), acts...)
+					budget--
+				}
+			}
+			return
+		}
+		ti := r.Intn(len(avail))
+		t := avail[ti]
+		rest := append(append([]*cfsm.Test(nil), avail[:ti]...), avail[ti+1:]...)
+		for v := 0; v < t.Arity(); v++ {
+			grow(rest, append(guard, cfsm.On(t, v)), depth+1)
+		}
+	}
+	grow(tests, nil, 0)
+	if len(c.Trans) == 0 {
+		// Guarantee at least one behaviour.
+		c.AddTransition([]cfsm.Cond{cfsm.On(tests[0], 1)}, m.randActions(ctrl, data)...)
+	}
+	return m
+}
+
+// randActions builds a non-conflicting action list.
+func (m *Machine) randActions(ctrl, data []*cfsm.StateVar) []*cfsm.Action {
+	c := m.C
+	r := m.Rng
+	var acts []*cfsm.Action
+	assigned := map[*cfsm.StateVar]bool{}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		switch r.Intn(3) {
+		case 0: // emit
+			out := m.Outputs[r.Intn(len(m.Outputs))]
+			if out.Pure {
+				acts = append(acts, c.Emit(out))
+			} else {
+				acts = append(acts, c.EmitV(out, m.randExpr(data, 2)))
+			}
+		case 1: // control assignment
+			if len(ctrl) == 0 {
+				continue
+			}
+			sv := ctrl[r.Intn(len(ctrl))]
+			if assigned[sv] {
+				continue
+			}
+			assigned[sv] = true
+			acts = append(acts, c.Assign(sv, expr.C(int64(r.Intn(sv.Domain)))))
+		default: // data assignment
+			if len(data) == 0 {
+				continue
+			}
+			sv := data[r.Intn(len(data))]
+			if assigned[sv] {
+				continue
+			}
+			assigned[sv] = true
+			acts = append(acts, c.Assign(sv, m.randExpr(data, 2)))
+		}
+	}
+	// Deduplicate interned actions (the same emit may repeat).
+	seen := map[*cfsm.Action]bool{}
+	var out []*cfsm.Action
+	for _, a := range acts {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// randExpr builds a small side-effect-free expression over data vars,
+// input values and constants.
+func (m *Machine) randExpr(data []*cfsm.StateVar, depth int) expr.Expr {
+	r := m.Rng
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return expr.C(r.Int63n(m.Range))
+		case 1:
+			if len(data) > 0 {
+				return expr.V(data[r.Intn(len(data))].Name)
+			}
+			return expr.C(r.Int63n(m.Range))
+		default:
+			for _, in := range m.Inputs {
+				if !in.Pure && r.Intn(2) == 0 {
+					return expr.V("?" + in.Name)
+				}
+			}
+			return expr.C(r.Int63n(m.Range))
+		}
+	}
+	ops := []func(a, b expr.Expr) expr.Expr{expr.Add, expr.Sub, expr.Mul, expr.Min, expr.Max, expr.Div, expr.Mod}
+	op := ops[r.Intn(len(ops))]
+	return op(m.randExpr(data, depth-1), m.randExpr(data, depth-1))
+}
+
+// RandomSnapshot draws a snapshot over the machine's inputs and state.
+func (m *Machine) RandomSnapshot() cfsm.Snapshot {
+	r := m.Rng
+	snap := m.C.NewSnapshot()
+	for _, in := range m.Inputs {
+		snap.Present[in] = r.Intn(2) == 1
+		if !in.Pure {
+			snap.Values[in] = r.Int63n(m.Range)
+		}
+	}
+	for _, sv := range m.C.States {
+		if sv.Domain > 0 {
+			snap.State[sv] = int64(r.Intn(sv.Domain))
+		} else {
+			snap.State[sv] = r.Int63n(m.Range)
+		}
+	}
+	return snap
+}

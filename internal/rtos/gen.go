@@ -1,0 +1,196 @@
+package rtos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"polis/internal/cfsm"
+)
+
+// GenerateC renders the C source of the configured RTOS instance: the
+// signal id table, per-task flag words, the event emission/detection
+// services the generated CFSM code calls, the ISRs or poll routine for
+// hardware-produced events, and the scheduler main loop for the chosen
+// policy. The structure is fixed at generation time — no dynamic task
+// or event objects — which is where the size advantage over a
+// commercial kernel comes from (Section IV-E).
+func GenerateC(n *cfsm.Network, cfg Config, sigID map[*cfsm.Signal]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* RTOS generated for network %q: %s", n.Name, cfg.Policy)
+	if cfg.Preemptive {
+		b.WriteString(", preemptive")
+	}
+	b.WriteString(". */\n#include \"polis_rtos.h\"\n\n")
+
+	sigs := make([]*cfsm.Signal, 0, len(sigID))
+	for s := range sigID {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigID[sigs[i]] < sigID[sigs[j]] })
+	for _, s := range sigs {
+		fmt.Fprintf(&b, "#define SIG_%s %d\n", s.Name, sigID[s])
+	}
+
+	var sw []*cfsm.CFSM
+	for _, m := range n.Machines {
+		if !cfg.HW[m] {
+			sw = append(sw, m)
+		}
+	}
+	fmt.Fprintf(&b, "\n#define N_TASKS %d\n", len(sw))
+	b.WriteString("static unsigned char enabled[N_TASKS];\n")
+	for _, m := range sw {
+		fmt.Fprintf(&b, "static unsigned char flags_%s[%d];\nstatic int values_%s[%d];\n",
+			m.Name, len(m.Inputs), m.Name, len(m.Inputs))
+	}
+	b.WriteString("static unsigned char frozen_task = 0xff;\n")
+	b.WriteString("static unsigned char pend_flags[N_TASKS][8];\nstatic int pend_values[N_TASKS][8];\n\n")
+
+	// Emission fans out to the statically known sensitive tasks.
+	b.WriteString("void polis_emit_value(int sig, int v)\n{\n  switch (sig) {\n")
+	for _, s := range sigs {
+		readers := n.Readers(s)
+		if len(readers) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  case SIG_%s:\n", s.Name)
+		for _, m := range readers {
+			if cfg.HW[m] {
+				fmt.Fprintf(&b, "    HW_PORT_WRITE(%s, v); /* to hw-CFSM %s */\n", s.Name, m.Name)
+				continue
+			}
+			idx := inputIndex(m, s)
+			ti := taskIndex(sw, m)
+			fmt.Fprintf(&b, "    if (frozen_task == %d) { pend_flags[%d][%d] = 1; pend_values[%d][%d] = v; }\n",
+				ti, ti, idx, ti, idx)
+			fmt.Fprintf(&b, "    else { flags_%s[%d] = 1; values_%s[%d] = v; enabled[%d] = 1; }\n",
+				m.Name, idx, m.Name, idx, ti)
+		}
+		b.WriteString("    break;\n")
+	}
+	b.WriteString("  default: break;\n  }\n}\n")
+	b.WriteString("void polis_emit(int sig) { polis_emit_value(sig, 0); }\n\n")
+
+	// Detection reads the caller's frozen flags.
+	b.WriteString("int polis_present(int sig)\n{\n  switch (frozen_task) {\n")
+	for ti, m := range sw {
+		fmt.Fprintf(&b, "  case %d:\n    switch (sig) {\n", ti)
+		for idx, in := range m.Inputs {
+			fmt.Fprintf(&b, "    case SIG_%s: return flags_%s[%d];\n", in.Name, m.Name, idx)
+		}
+		b.WriteString("    default: return 0;\n    }\n")
+	}
+	b.WriteString("  default: return 0;\n  }\n}\n\n")
+	b.WriteString("int polis_value(int sig)\n{\n  switch (frozen_task) {\n")
+	for ti, m := range sw {
+		fmt.Fprintf(&b, "  case %d:\n    switch (sig) {\n", ti)
+		for idx, in := range m.Inputs {
+			if in.Pure {
+				continue
+			}
+			fmt.Fprintf(&b, "    case SIG_%s: return values_%s[%d];\n", in.Name, m.Name, idx)
+		}
+		b.WriteString("    default: return 0;\n    }\n")
+	}
+	b.WriteString("  default: return 0;\n  }\n}\n\n")
+
+	// ISRs / poll routine for hardware-produced events.
+	for _, s := range sigs {
+		if len(n.Writers(s)) > 0 {
+			continue // produced inside the software partition
+		}
+		if d, ok := cfg.Deliver[s]; ok && d == Polling {
+			continue
+		}
+		fmt.Fprintf(&b, "void isr_%s(void)\n{\n  polis_emit_value(SIG_%s, HW_PORT_READ(%s));\n", s.Name, s.Name, s.Name)
+		if cfg.InISR[s] {
+			for _, m := range n.Readers(s) {
+				if !cfg.HW[m] {
+					fmt.Fprintf(&b, "  run_task(%d); /* critical: run %s inside the ISR */\n",
+						taskIndex(sw, m), m.Name)
+				}
+			}
+		}
+		b.WriteString("}\n")
+	}
+	hasPoll := false
+	for _, s := range sigs {
+		if d, ok := cfg.Deliver[s]; ok && d == Polling && len(n.Writers(s)) == 0 {
+			if !hasPoll {
+				hasPoll = true
+				b.WriteString("void poll_routine(void)\n{\n")
+			}
+			fmt.Fprintf(&b, "  if (HW_PORT_TEST(%s)) polis_emit_value(SIG_%s, HW_PORT_READ(%s));\n",
+				s.Name, s.Name, s.Name)
+		}
+	}
+	if hasPoll {
+		b.WriteString("}\n")
+	}
+
+	// Task runner and scheduler loop. Chained successors run back to
+	// back without returning to the scheduler (Section IV-A).
+	chainNext := map[*cfsm.CFSM]*cfsm.CFSM{}
+	for _, chain := range cfg.Chains {
+		for i := 0; i+1 < len(chain); i++ {
+			chainNext[chain[i]] = chain[i+1]
+		}
+	}
+	b.WriteString("\nstatic void run_task(int t)\n{\n  frozen_task = t;\n  switch (t) {\n")
+	for ti, m := range sw {
+		fmt.Fprintf(&b, "  case %d: %s_react(); break;\n", ti, m.Name)
+	}
+	b.WriteString("  }\n  frozen_task = 0xff;\n  commit_pending(t);\n")
+	for ti, m := range sw {
+		if succ, ok := chainNext[m]; ok && !cfg.HW[succ] {
+			si := taskIndex(sw, succ)
+			fmt.Fprintf(&b, "  if (t == %d && enabled[%d]) run_task(%d); /* chained: %s -> %s */\n",
+				ti, si, si, m.Name, succ.Name)
+		}
+	}
+	b.WriteString("}\n\n")
+
+	b.WriteString("void polis_scheduler(void)\n{\n  for (;;) {\n")
+	switch cfg.Policy {
+	case RoundRobin:
+		b.WriteString("    static int rr = 0;\n    int i;\n")
+		b.WriteString("    for (i = 0; i < N_TASKS; i++) {\n")
+		b.WriteString("      int t = (rr + i) % N_TASKS;\n")
+		b.WriteString("      if (enabled[t]) { rr = (t + 1) % N_TASKS; run_task(t); break; }\n")
+		b.WriteString("    }\n")
+	case StaticPriority:
+		b.WriteString("    /* priorities, highest first: */\n")
+		order := make([]int, len(sw))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return cfg.Priority[sw[order[i]]] > cfg.Priority[sw[order[j]]]
+		})
+		for _, ti := range order {
+			fmt.Fprintf(&b, "    if (enabled[%d]) { run_task(%d); continue; } /* %s (prio %d) */\n",
+				ti, ti, sw[ti].Name, cfg.Priority[sw[ti]])
+		}
+	}
+	b.WriteString("    IDLE();\n  }\n}\n")
+	return b.String()
+}
+
+func inputIndex(m *cfsm.CFSM, s *cfsm.Signal) int {
+	for i, in := range m.Inputs {
+		if in == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func taskIndex(sw []*cfsm.CFSM, m *cfsm.CFSM) int {
+	for i, t := range sw {
+		if t == m {
+			return i
+		}
+	}
+	return -1
+}

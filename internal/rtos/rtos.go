@@ -1,0 +1,261 @@
+// Package rtos implements the automatically generated real-time
+// operating system of Section IV: scheduling of software CFSMs,
+// event emission/detection through private presence flags and
+// one-place value buffers, transfer of events between hardware and
+// software partitions (polling or interrupts), and the consumption
+// atomicity rule — once a CFSM starts reading its input flags, no new
+// flags become visible until it finishes, but events arriving in that
+// window are remembered for the next execution.
+//
+// The package provides an executable cycle-level model of the
+// generated RTOS (used by internal/sim for co-simulation), a ROM/RAM
+// size model for it, and a C source generator for the artefact a
+// target build would compile.
+package rtos
+
+import (
+	"fmt"
+
+	"polis/internal/cfsm"
+)
+
+// Policy selects the scheduling discipline.
+type Policy int
+
+// Scheduling policies offered by the generator (Section IV-A).
+const (
+	RoundRobin Policy = iota
+	StaticPriority
+)
+
+func (p Policy) String() string {
+	if p == RoundRobin {
+		return "round-robin"
+	}
+	return "static-priority"
+}
+
+// Delivery selects how events produced by the hardware partition reach
+// software CFSMs (Section IV-C).
+type Delivery int
+
+// Delivery mechanisms.
+const (
+	Interrupt Delivery = iota
+	Polling
+)
+
+// Config describes one generated RTOS instance.
+type Config struct {
+	Policy     Policy
+	Preemptive bool
+	// Priority gives each software machine its static priority
+	// (higher runs first); unset machines default to 0.
+	Priority map[*cfsm.CFSM]int
+	// HW marks machines implemented in hardware: they react with a
+	// fixed short delay outside the CPU.
+	HW map[*cfsm.CFSM]bool
+	// HWDelay is the reaction delay of hardware machines in cycles.
+	HWDelay int64
+	// Deliver selects polling or interrupts per environment/hardware
+	// signal; the default is Interrupt, as in the paper.
+	Deliver map[*cfsm.Signal]Delivery
+	// PollPeriod is the polling routine's period in cycles.
+	PollPeriod int64
+	// InISR marks events whose sensitive software CFSMs execute
+	// inside the interrupt service routine itself, giving the most
+	// critical tasks immediate attention.
+	InISR map[*cfsm.Signal]bool
+	// Chains lists orderings of software machines whose executions
+	// the RTOS chains into a single task (Section IV-A): when a
+	// machine in a chain completes and its successor was enabled by
+	// the completion's emissions (or was already enabled), the
+	// successor runs immediately without a scheduler decision,
+	// removing the scheduling overhead between them. A machine may
+	// appear in at most one chain.
+	Chains [][]*cfsm.CFSM
+
+	// Overheads in cycles, normally taken from SizeTiming for the
+	// target profile.
+	ScheduleOverhead int64 // one scheduler decision
+	EmitOverhead     int64 // one event emission (flag fan-out)
+	ISROverhead      int64 // interrupt entry/exit
+	PollOverhead     int64 // one poll routine execution
+}
+
+// DefaultConfig returns a round-robin non-preemptive configuration
+// with interrupt delivery — the setup of the paper's shock-absorber
+// redesign.
+func DefaultConfig() Config {
+	return Config{
+		Policy:           RoundRobin,
+		Priority:         map[*cfsm.CFSM]int{},
+		HW:               map[*cfsm.CFSM]bool{},
+		HWDelay:          2,
+		Deliver:          map[*cfsm.Signal]Delivery{},
+		PollPeriod:       2000,
+		InISR:            map[*cfsm.Signal]bool{},
+		ScheduleOverhead: 18,
+		EmitOverhead:     9,
+		ISROverhead:      24,
+		PollOverhead:     14,
+	}
+}
+
+// Task is the runtime record of one software CFSM: its private input
+// flags and value buffers, the frozen snapshot while it executes, and
+// the events remembered for the next execution (Section IV-D).
+type Task struct {
+	M        *cfsm.CFSM
+	Priority int
+
+	// flags/values are the visible input buffers.
+	flags  map[*cfsm.Signal]bool
+	values map[*cfsm.Signal]int64
+	// pendFlags/pendValues buffer events arriving while the task
+	// executes (the freeze window).
+	pendFlags  map[*cfsm.Signal]bool
+	pendValues map[*cfsm.Signal]int64
+
+	running   bool
+	enabled   bool  // set by event arrival, cleared when a run starts
+	remaining int64 // cycles left in the current execution
+	// react is called when an execution completes, with the frozen
+	// snapshot; it returns the emissions and whether any transition
+	// fired (events are consumed only if it did).
+	react func(snap cfsm.Snapshot) cfsm.Reaction
+	// cost returns the execution time in cycles for a snapshot.
+	cost func(snap cfsm.Snapshot) int64
+
+	state map[*cfsm.StateVar]int64
+	// frozen snapshot for the in-flight execution
+	frozen cfsm.Snapshot
+
+	// Stats
+	Executions int64
+	Fired      int64
+	Lost       int64 // overwritten events (one-place buffers)
+}
+
+// Enabled reports whether the task must be scheduled: an event has
+// arrived since its last execution started. A task whose execution
+// fired no transition keeps its unconsumed flags (Section IV-D) but is
+// not re-scheduled until a new event occurs — otherwise it would spin
+// on the preserved events.
+func (t *Task) Enabled() bool {
+	return t.enabled && !t.running
+}
+
+// post delivers an event to the task's buffers, honouring the freeze
+// window and counting one-place buffer overwrites.
+func (t *Task) post(s *cfsm.Signal, v int64) {
+	if t.running {
+		if t.pendFlags[s] {
+			t.Lost++
+		}
+		t.pendFlags[s] = true
+		t.pendValues[s] = v
+		return
+	}
+	if t.flags[s] {
+		t.Lost++
+	}
+	t.flags[s] = true
+	t.values[s] = v
+	t.enabled = true
+}
+
+// begin freezes the input snapshot and marks the task running.
+func (t *Task) begin() cfsm.Snapshot {
+	snap := cfsm.Snapshot{
+		Present: make(map[*cfsm.Signal]bool, len(t.flags)),
+		Values:  make(map[*cfsm.Signal]int64, len(t.values)),
+		State:   t.state,
+	}
+	for s, p := range t.flags {
+		if p {
+			snap.Present[s] = true
+			snap.Values[s] = t.values[s]
+		}
+	}
+	t.running = true
+	t.enabled = false
+	t.frozen = snap
+	return snap
+}
+
+// finish completes an execution: consumed flags are cleared only when
+// a transition fired, pending events become visible, and the next
+// state is committed.
+func (t *Task) finish(r cfsm.Reaction) {
+	t.Executions++
+	if r.Fired {
+		t.Fired++
+		for s := range t.frozen.Present {
+			t.flags[s] = false
+		}
+		t.state = r.NextState
+	}
+	for s, p := range t.pendFlags {
+		if p {
+			if t.flags[s] {
+				t.Lost++
+			}
+			t.flags[s] = true
+			t.values[s] = t.pendValues[s]
+			t.enabled = true
+		}
+		delete(t.pendFlags, s)
+		delete(t.pendValues, s)
+	}
+	t.running = false
+}
+
+// NewTask builds the runtime record for a software CFSM with the given
+// reaction function and cost model.
+func NewTask(m *cfsm.CFSM, react func(cfsm.Snapshot) cfsm.Reaction,
+	cost func(cfsm.Snapshot) int64) *Task {
+	st := make(map[*cfsm.StateVar]int64, len(m.States))
+	for _, sv := range m.States {
+		st[sv] = sv.Init
+	}
+	return &Task{
+		M:          m,
+		flags:      make(map[*cfsm.Signal]bool),
+		values:     make(map[*cfsm.Signal]int64),
+		pendFlags:  make(map[*cfsm.Signal]bool),
+		pendValues: make(map[*cfsm.Signal]int64),
+		react:      react,
+		cost:       cost,
+		state:      st,
+	}
+}
+
+// State exposes the task's committed state (for assertions and
+// latency checks in tests and experiments).
+func (t *Task) State(sv *cfsm.StateVar) int64 { return t.state[sv] }
+
+// Validate checks a configuration against a network.
+func (c *Config) Validate(n *cfsm.Network) error {
+	if c.Preemptive && c.Policy == RoundRobin {
+		return fmt.Errorf("rtos: preemption requires static priorities")
+	}
+	for s := range c.InISR {
+		if d, ok := c.Deliver[s]; ok && d != Interrupt {
+			return fmt.Errorf("rtos: signal %s marked InISR but delivered by polling", s.Name)
+		}
+	}
+	seen := make(map[*cfsm.CFSM]bool)
+	for _, chain := range c.Chains {
+		for _, m := range chain {
+			if c.HW[m] {
+				return fmt.Errorf("rtos: chained machine %s is in the hardware partition", m.Name)
+			}
+			if seen[m] {
+				return fmt.Errorf("rtos: machine %s appears in more than one chain", m.Name)
+			}
+			seen[m] = true
+		}
+	}
+	return nil
+}

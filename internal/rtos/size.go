@@ -1,0 +1,215 @@
+package rtos
+
+import (
+	"polis/internal/cfsm"
+	"polis/internal/vm"
+)
+
+// SizeReport breaks down the memory footprint of one generated RTOS
+// instance on a target.
+type SizeReport struct {
+	CodeBytes int64 // scheduler + event routines + ISRs + poll routine
+	DataBytes int64 // flags, value buffers, task table
+}
+
+// SizeEstimate models the ROM/RAM cost of the generated RTOS: because
+// the communication structure is fixed at generation time (Section
+// IV-E), the cost is a small base plus per-task and per-connection
+// increments, all scaled by the target's instruction sizes. The
+// constants are expressed in instruction counts so the model tracks
+// the target profile.
+func SizeEstimate(prof *vm.Profile, n *cfsm.Network, cfg Config) SizeReport {
+	instr := int64(prof.Size[vm.LD]) // representative instruction size
+	branch := int64(prof.Size[vm.BRZ])
+	var r SizeReport
+
+	swTasks := int64(0)
+	connections := int64(0)
+	hwSignals := int64(0)
+	pollSignals := int64(0)
+	isrBodies := int64(0)
+	for _, m := range n.Machines {
+		if cfg.HW[m] {
+			continue
+		}
+		swTasks++
+		connections += int64(len(m.Inputs))
+	}
+	for _, sig := range n.Signals {
+		readers := n.Readers(sig)
+		swRead := false
+		for _, m := range readers {
+			if !cfg.HW[m] {
+				swRead = true
+			}
+		}
+		fromHW := len(n.Writers(sig)) == 0 // environment
+		for _, w := range n.Writers(sig) {
+			if cfg.HW[w] {
+				fromHW = true
+			}
+		}
+		if fromHW && swRead {
+			hwSignals++
+			if d, ok := cfg.Deliver[sig]; ok && d == Polling {
+				pollSignals++
+			} else {
+				isrBodies++
+			}
+		}
+	}
+
+	// Scheduler core: dispatch loop + policy logic.
+	core := int64(24) * instr
+	if cfg.Policy == StaticPriority {
+		core += 10 * instr
+		if cfg.Preemptive {
+			core += 16 * instr
+		}
+	}
+	// Per-task dispatch entry and enable bookkeeping.
+	core += swTasks * (6*instr + branch)
+	// Event emission/detection: one flag-set stub per connection
+	// (the fixed sensitivity structure lets the generator inline it).
+	core += connections * (3 * instr)
+	// ISRs and the poll routine.
+	core += isrBodies * (8 * instr)
+	if pollSignals > 0 {
+		core += 12*instr + pollSignals*(4*instr+branch)
+	}
+	r.CodeBytes = core
+
+	// RAM: per-connection flag + value buffer, per-task control block.
+	r.DataBytes = connections*int64(1+prof.IntBytes) + swTasks*int64(2*prof.IntBytes)
+	return r
+}
+
+// CommercialSizeEstimate models a generic commercial RTOS kernel for
+// the Section IV-E comparison: dynamic task and event management make
+// its footprint a large constant plus bigger per-object costs,
+// independent of the network's fixed structure.
+func CommercialSizeEstimate(prof *vm.Profile, n *cfsm.Network, cfg Config) SizeReport {
+	instr := int64(prof.Size[vm.LD])
+	swTasks := int64(0)
+	connections := int64(0)
+	for _, m := range n.Machines {
+		if cfg.HW[m] {
+			continue
+		}
+		swTasks++
+		connections += int64(len(m.Inputs))
+	}
+	return SizeReport{
+		// Kernel core (scheduler, queues, timers, semaphores, event
+		// flag service) plus generic per-task setup code.
+		CodeBytes: 2200*instr + swTasks*(40*instr),
+		// TCBs, stacks bookkeeping, event control blocks.
+		DataBytes: swTasks*int64(32*prof.IntBytes) + connections*int64(4*prof.IntBytes) + 256,
+	}
+}
+
+// SchedulabilityReport carries the rate-monotonic analysis results the
+// paper's flow feeds back to the scheduling step.
+type SchedulabilityReport struct {
+	Utilization float64
+	// LLBound is the Liu & Layland utilisation bound n(2^(1/n)-1).
+	LLBound float64
+	// ByBound is true when the utilisation test alone proves the
+	// task set schedulable under rate-monotonic priorities.
+	ByBound bool
+	// ResponseTimes holds the exact worst-case response time per
+	// task (response-time analysis), valid for preemptive static
+	// priorities; Schedulable reports whether all meet deadlines.
+	ResponseTimes []int64
+	Schedulable   bool
+}
+
+// TaskSpec describes one periodic software task for schedulability
+// analysis: worst-case execution time (from the estimator), period and
+// deadline in cycles.
+type TaskSpec struct {
+	Name     string
+	WCET     int64
+	Period   int64
+	Deadline int64 // 0 means deadline = period
+}
+
+// Schedulability runs the Liu & Layland utilisation test and exact
+// response-time analysis under rate-monotonic priority assignment
+// (shorter period = higher priority), adding the RTOS scheduling
+// overhead to each task's cost.
+func Schedulability(specs []TaskSpec, scheduleOverhead int64) SchedulabilityReport {
+	var rep SchedulabilityReport
+	n := len(specs)
+	if n == 0 {
+		rep.Schedulable = true
+		rep.ByBound = true
+		return rep
+	}
+	ts := make([]TaskSpec, n)
+	copy(ts, specs)
+	for i := range ts {
+		ts[i].WCET += scheduleOverhead
+		if ts[i].Deadline == 0 {
+			ts[i].Deadline = ts[i].Period
+		}
+	}
+	// Rate-monotonic order.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && ts[j].Period < ts[j-1].Period; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+	u := 0.0
+	for _, t := range ts {
+		u += float64(t.WCET) / float64(t.Period)
+	}
+	rep.Utilization = u
+	rep.LLBound = float64(n) * (pow2inv(n) - 1)
+	rep.ByBound = u <= rep.LLBound
+
+	// Response-time analysis.
+	rep.ResponseTimes = make([]int64, n)
+	rep.Schedulable = true
+	for i := range ts {
+		r := ts[i].WCET
+		for iter := 0; iter < 1000; iter++ {
+			next := ts[i].WCET
+			for j := 0; j < i; j++ {
+				next += ceilDiv(r, ts[j].Period) * ts[j].WCET
+			}
+			if next == r {
+				break
+			}
+			r = next
+			if r > ts[i].Deadline {
+				break
+			}
+		}
+		rep.ResponseTimes[i] = r
+		if r > ts[i].Deadline {
+			rep.Schedulable = false
+		}
+	}
+	return rep
+}
+
+// pow2inv computes 2^(1/n).
+func pow2inv(n int) float64 {
+	// Newton iteration for x = 2^(1/n): solve x^n = 2.
+	x := 1.1
+	for i := 0; i < 60; i++ {
+		xn := 1.0
+		for k := 0; k < n; k++ {
+			xn *= x
+		}
+		// f(x) = x^n - 2; f'(x) = n x^(n-1)
+		fp := float64(n) * xn / x
+		x -= (xn - 2) / fp
+	}
+	return x
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}

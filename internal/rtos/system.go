@@ -1,0 +1,451 @@
+package rtos
+
+import (
+	"fmt"
+	"sort"
+
+	"polis/internal/cfsm"
+)
+
+// TraceEvent records one event occurrence during execution.
+type TraceEvent struct {
+	Time   int64
+	Signal *cfsm.Signal
+	Value  int64
+	From   string // emitting machine, "env", or "isr"/"poll" for deliveries
+}
+
+// running is one in-flight software execution.
+type running struct {
+	task     *Task
+	reaction cfsm.Reaction
+	end      int64
+	inISR    bool
+}
+
+// hwRun is one in-flight hardware reaction.
+type hwRun struct {
+	task     *Task
+	reaction cfsm.Reaction
+	end      int64
+}
+
+// System is the executable cycle-level model of one generated RTOS
+// instance plus the CFSM network it serves. Software tasks contend for
+// the single CPU under the configured policy; hardware machines react
+// concurrently off-CPU after a fixed delay.
+type System struct {
+	N   *cfsm.Network
+	Cfg Config
+
+	Tasks  []*Task // software tasks, in network order
+	taskOf map[*cfsm.CFSM]*Task
+	hwOf   map[*cfsm.CFSM]*Task
+	// chainNext maps a task to its chain successor (Section IV-A).
+	chainNext map[*Task]*Task
+
+	Now   int64
+	Trace []TraceEvent
+
+	current *running
+	stack   []*running // preempted executions
+	hwRuns  []*hwRun
+	freeAt  int64 // CPU occupied by ISR/poll bookkeeping until here
+
+	// Polling: events from hardware/environment latched at the I/O
+	// port until the poll routine runs.
+	pollPort   map[*cfsm.Signal]bool
+	pollValue  map[*cfsm.Signal]int64
+	nextPoll   int64
+	hasPolling bool
+
+	rr int // round-robin cursor
+
+	// Stats
+	ScheduleCalls int64
+	Interrupts    int64
+	Polls         int64
+	BusyCycles    int64
+	idleSince     int64
+}
+
+// NewSystem builds the runtime. makeTask supplies each software
+// machine's reaction function and cost model (behavioural or
+// VM-backed); hardware machines always react behaviourally.
+func NewSystem(n *cfsm.Network, cfg Config,
+	makeTask func(m *cfsm.CFSM) (*Task, error)) (*System, error) {
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	s := &System{
+		N:         n,
+		Cfg:       cfg,
+		taskOf:    make(map[*cfsm.CFSM]*Task),
+		hwOf:      make(map[*cfsm.CFSM]*Task),
+		pollPort:  make(map[*cfsm.Signal]bool),
+		pollValue: make(map[*cfsm.Signal]int64),
+	}
+	for _, m := range n.Machines {
+		if cfg.HW[m] {
+			mm := m
+			t := NewTask(m, mm.React, func(cfsm.Snapshot) int64 { return cfg.HWDelay })
+			s.hwOf[m] = t
+			continue
+		}
+		t, err := makeTask(m)
+		if err != nil {
+			return nil, err
+		}
+		t.Priority = cfg.Priority[m]
+		s.taskOf[m] = t
+		s.Tasks = append(s.Tasks, t)
+	}
+	for sig, d := range cfg.Deliver {
+		if d == Polling {
+			_ = sig
+			s.hasPolling = true
+		}
+	}
+	s.chainNext = make(map[*Task]*Task)
+	for _, chain := range cfg.Chains {
+		for i := 0; i+1 < len(chain); i++ {
+			a := s.taskOf[chain[i]]
+			b := s.taskOf[chain[i+1]]
+			if a != nil && b != nil {
+				s.chainNext[a] = b
+			}
+		}
+	}
+	s.nextPoll = cfg.PollPeriod
+	return s, nil
+}
+
+// TaskFor returns the runtime task of a software machine.
+func (s *System) TaskFor(m *cfsm.CFSM) *Task { return s.taskOf[m] }
+
+// delivery returns the configured mechanism for a signal.
+func (s *System) delivery(sig *cfsm.Signal) Delivery {
+	if d, ok := s.Cfg.Deliver[sig]; ok {
+		return d
+	}
+	return Interrupt
+}
+
+// EmitEnv injects an environment event at the current time. Events
+// bound for software pass through the configured delivery mechanism
+// (interrupt or polling), exactly like emissions from the hardware
+// partition.
+func (s *System) EmitEnv(sig *cfsm.Signal, val int64) {
+	s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: "env"})
+	s.routeFromHardware(sig, val)
+}
+
+// routeFromHardware delivers an event produced outside the CPU: to
+// hardware readers directly, to software readers by interrupt or by
+// latching it at the poll port.
+func (s *System) routeFromHardware(sig *cfsm.Signal, val int64) {
+	interrupted := false
+	for _, m := range s.N.Readers(sig) {
+		if hw, ok := s.hwOf[m]; ok {
+			hw.post(sig, val)
+			s.startHW()
+			continue
+		}
+		switch s.delivery(sig) {
+		case Polling:
+			s.pollPort[sig] = true
+			s.pollValue[sig] = val
+		case Interrupt:
+			if !interrupted {
+				// One interrupt services all sensitive tasks.
+				interrupted = true
+				s.Interrupts++
+				s.stealCPU(s.Cfg.ISROverhead)
+			}
+			s.postToTask(s.taskOf[m], sig, val, s.Cfg.InISR[sig])
+		}
+	}
+}
+
+// emitFromSW delivers an event emitted by a software task.
+func (s *System) emitFromSW(from *Task, sig *cfsm.Signal, val int64) {
+	s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: from.M.Name})
+	readers := s.N.Readers(sig)
+	extra := len(readers) - 1
+	if extra > 0 {
+		s.stealCPU(int64(extra) * s.Cfg.EmitOverhead)
+	}
+	for _, m := range readers {
+		if hw, ok := s.hwOf[m]; ok {
+			// SW -> HW through a memory-mapped port: immediate.
+			hw.post(sig, val)
+			s.startHW()
+			continue
+		}
+		s.postToTask(s.taskOf[m], sig, val, false)
+	}
+}
+
+// emitFromHW delivers emissions of a completed hardware reaction.
+func (s *System) emitFromHW(from *Task, sig *cfsm.Signal, val int64) {
+	s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: from.M.Name})
+	s.routeFromHardware(sig, val)
+}
+
+// postToTask sets the private flag and handles preemption and
+// ISR-context execution.
+func (s *System) postToTask(t *Task, sig *cfsm.Signal, val int64, inISR bool) {
+	if t == nil {
+		return
+	}
+	t.post(sig, val)
+	if inISR && !t.running {
+		// Execute the critical task inside the ISR, ahead of
+		// everything, unless it is already running.
+		snap := t.begin()
+		r := t.react(snap)
+		d := t.cost(snap)
+		s.preemptCurrent()
+		s.current = &running{task: t, reaction: r, end: s.Now + d, inISR: true}
+		return
+	}
+	if s.Cfg.Preemptive && s.current != nil && !s.current.inISR &&
+		t.Priority > s.current.task.Priority && t.Enabled() {
+		s.preemptCurrent()
+	}
+}
+
+// preemptCurrent suspends the in-flight execution, remembering its
+// remaining cycles.
+func (s *System) preemptCurrent() {
+	if s.current == nil {
+		return
+	}
+	cur := s.current
+	cur.end -= s.Now // store remaining cycles
+	s.stack = append(s.stack, cur)
+	s.current = nil
+}
+
+// stealCPU models cycles taken from the running task by ISR or RTOS
+// bookkeeping: an in-flight execution finishes later.
+func (s *System) stealCPU(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	s.BusyCycles += cycles
+	if s.current != nil {
+		s.current.end += cycles
+		return
+	}
+	if s.freeAt < s.Now {
+		s.freeAt = s.Now
+	}
+	s.freeAt += cycles
+}
+
+// startHW begins reactions of enabled hardware machines; they run
+// concurrently off-CPU.
+func (s *System) startHW() {
+	for _, hw := range s.hwOf {
+		if !hw.running && hw.Enabled() {
+			snap := hw.begin()
+			r := hw.react(snap)
+			s.hwRuns = append(s.hwRuns, &hwRun{task: hw, reaction: r, end: s.Now + s.Cfg.HWDelay})
+		}
+	}
+}
+
+// pickTask selects the next enabled software task under the policy.
+func (s *System) pickTask() *Task {
+	n := len(s.Tasks)
+	if n == 0 {
+		return nil
+	}
+	switch s.Cfg.Policy {
+	case RoundRobin:
+		for i := 0; i < n; i++ {
+			t := s.Tasks[(s.rr+i)%n]
+			if t.Enabled() {
+				s.rr = (s.rr + i + 1) % n
+				return t
+			}
+		}
+	case StaticPriority:
+		var best *Task
+		for _, t := range s.Tasks {
+			if !t.Enabled() {
+				continue
+			}
+			if best == nil || t.Priority > best.Priority {
+				best = t
+			}
+		}
+		return best
+	}
+	return nil
+}
+
+// resume pops the most recently preempted execution.
+func (s *System) resume() {
+	if len(s.stack) == 0 {
+		return
+	}
+	cur := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	cur.end += s.Now // restore absolute completion time
+	s.current = cur
+}
+
+// Advance runs the system until the given absolute time (in cycles).
+func (s *System) Advance(to int64) error {
+	if to < s.Now {
+		return fmt.Errorf("rtos: time going backwards (%d < %d)", to, s.Now)
+	}
+	for {
+		// Start work if the CPU is idle and not held by ISR/poll
+		// bookkeeping. A preempted execution resumes unless a
+		// strictly higher-priority task is enabled.
+		if s.current == nil && s.Now >= s.freeAt {
+			cand := s.pickTask()
+			if len(s.stack) > 0 {
+				top := s.stack[len(s.stack)-1]
+				if cand == nil || !s.Cfg.Preemptive || cand.Priority <= top.task.Priority {
+					s.resume()
+					cand = nil
+				}
+			}
+			if cand != nil {
+				s.ScheduleCalls++
+				snap := cand.begin()
+				r := cand.react(snap)
+				d := cand.cost(snap)
+				s.BusyCycles += s.Cfg.ScheduleOverhead + d
+				s.current = &running{task: cand, reaction: r, end: s.Now + s.Cfg.ScheduleOverhead + d}
+			}
+		}
+
+		// Find the next event.
+		next := to
+		kind := 0 // 0 none, 1 task done, 2 hw done, 3 poll, 4 cpu free
+		if s.current != nil && s.current.end <= next {
+			next = s.current.end
+			kind = 1
+		}
+		if s.current == nil && s.freeAt > s.Now && s.workPending() && s.freeAt <= next {
+			next = s.freeAt
+			kind = 4
+		}
+		for _, h := range s.hwRuns {
+			if h.end <= next {
+				next = h.end
+				kind = 2
+			}
+		}
+		if s.hasPolling && s.nextPoll <= next {
+			next = s.nextPoll
+			kind = 3
+		}
+		if kind == 0 {
+			s.Now = to
+			return nil
+		}
+		s.Now = next
+		switch kind {
+		case 4:
+			// CPU released by ISR/poll bookkeeping; loop to dispatch.
+		case 1:
+			cur := s.current
+			s.current = nil
+			cur.task.finish(cur.reaction)
+			for _, em := range cur.reaction.Emitted {
+				s.emitFromSW(cur.task, em.Signal, em.Value)
+			}
+			// Chained successor: run back to back without a
+			// scheduler decision (Section IV-A).
+			if next := s.chainNext[cur.task]; next != nil && next.Enabled() && s.current == nil {
+				snap := next.begin()
+				r := next.react(snap)
+				d := next.cost(snap)
+				s.BusyCycles += d
+				s.current = &running{task: next, reaction: r, end: s.Now + d}
+			}
+		case 2:
+			// Complete all hardware runs due now.
+			var done []*hwRun
+			var rest []*hwRun
+			for _, h := range s.hwRuns {
+				if h.end <= s.Now {
+					done = append(done, h)
+				} else {
+					rest = append(rest, h)
+				}
+			}
+			s.hwRuns = rest
+			sort.SliceStable(done, func(i, j int) bool { return done[i].end < done[j].end })
+			for _, h := range done {
+				h.task.finish(h.reaction)
+				for _, em := range h.reaction.Emitted {
+					s.emitFromHW(h.task, em.Signal, em.Value)
+				}
+			}
+			s.startHW() // buffered events may re-enable them
+		case 3:
+			s.Polls++
+			s.nextPoll += s.Cfg.PollPeriod
+			s.stealCPU(s.Cfg.PollOverhead)
+			for sig, p := range s.pollPort {
+				if !p {
+					continue
+				}
+				val := s.pollValue[sig]
+				s.pollPort[sig] = false
+				for _, m := range s.N.Readers(sig) {
+					if t, ok := s.taskOf[m]; ok && s.delivery(sig) == Polling {
+						s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: "poll"})
+						s.postToTask(t, sig, val, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// workPending reports whether any software work is waiting.
+func (s *System) workPending() bool {
+	if len(s.stack) > 0 {
+		return true
+	}
+	for _, t := range s.Tasks {
+		if t.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// higherPendingNone reports whether no enabled task outranks the top
+// of the preemption stack (so resuming is correct).
+func (s *System) higherPendingNone() bool {
+	if len(s.stack) == 0 {
+		return false
+	}
+	top := s.stack[len(s.stack)-1]
+	if !s.Cfg.Preemptive {
+		return true
+	}
+	for _, t := range s.Tasks {
+		if t.Enabled() && t.Priority > top.task.Priority {
+			return false
+		}
+	}
+	return true
+}
+
+// Utilization returns the fraction of elapsed cycles the CPU was busy.
+func (s *System) Utilization() float64 {
+	if s.Now == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.Now)
+}

@@ -1,0 +1,91 @@
+package sgraph
+
+import "polis/internal/cfsm"
+
+// CollapseTests implements the TEST-node collapsing optimisation of
+// Section III-B3d: a closed subgraph of TEST vertices — one in which
+// every vertex except the root is reached only from within the
+// subgraph — can be replaced by a single multi-test TEST vertex whose
+// outcome index concatenates the outcomes of the constituent tests,
+// thereby factoring the common test expression. The paper experimented
+// with this transformation and never observed an improvement in the
+// final code; the implementation is kept so that the ablation
+// benchmark can reproduce that negative result.
+//
+// This implementation collapses the canonical closed shape: a TEST
+// vertex whose children are all TEST vertices over one common test,
+// with no edges entering the children from outside. It applies the
+// rewrite repeatedly to a fixed point, subject to a limit on the
+// combined arity, and returns the number of collapses performed.
+func (g *SGraph) CollapseTests(maxArity int) int {
+	if maxArity <= 0 {
+		maxArity = 16
+	}
+	collapsed := 0
+	for {
+		changed := false
+		edgesFrom := func(v, c *Vertex) int {
+			n := 0
+			for _, ch := range v.Children {
+				if ch == c {
+					n++
+				}
+			}
+			return n
+		}
+		parents := g.Parents()
+		for _, v := range g.Reachable() {
+			if v.Kind != Test {
+				continue
+			}
+			// All children must be TEST vertices over one common
+			// single test, closed under v.
+			var common *cfsm.Test
+			ok := true
+			for _, c := range v.Children {
+				if c.Kind != Test || len(c.Tests) != 1 || c == v {
+					ok = false
+					break
+				}
+				if common == nil {
+					common = c.Tests[0]
+				} else if c.Tests[0] != common {
+					ok = false
+					break
+				}
+				if parents[c] != edgesFrom(v, c) {
+					ok = false // reached from outside the subgraph
+					break
+				}
+			}
+			if !ok || common == nil {
+				continue
+			}
+			// v must not itself test the common test already.
+			for _, t := range v.Tests {
+				if t == common {
+					ok = false
+					break
+				}
+			}
+			if !ok || v.Arity()*common.Arity() > maxArity {
+				continue
+			}
+			newChildren := make([]*Vertex, 0, v.Arity()*common.Arity())
+			for _, c := range v.Children {
+				newChildren = append(newChildren, c.Children...)
+			}
+			v.Tests = append(v.Tests, common)
+			v.Children = newChildren
+			collapsed++
+			changed = true
+			break // parent counts are stale; recompute
+		}
+		if !changed {
+			if collapsed > 0 {
+				g.Vertices = g.Reachable() // drop absorbed vertices
+			}
+			return collapsed
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sgraph
+
+import (
+	"fmt"
+
+	"polis/internal/cfsm"
+)
+
+// CheckFunctional verifies Definition 2 of the paper over the whole
+// test-outcome space: for every combination of test outcomes the
+// s-graph's evaluation must terminate at END, visit each primitive
+// test at most once (the property the outputs-after-support ordering
+// guarantees), and produce exactly the action set of the reactive
+// function r. The outcome space is the product of the test arities;
+// the check refuses spaces larger than maxCombos.
+func (g *SGraph) CheckFunctional(r *cfsm.Reactive) error {
+	const maxCombos = 1 << 22
+	combos := 1
+	for _, t := range g.C.Tests {
+		combos *= t.Arity()
+		if combos > maxCombos {
+			return fmt.Errorf("sgraph: outcome space too large for exhaustive check")
+		}
+	}
+	outcome := make([]int, len(g.C.Tests))
+	idOf := make(map[*cfsm.Test]int, len(g.C.Tests))
+	for i, t := range g.C.Tests {
+		idOf[t] = i
+	}
+	for k := 0; k < combos; k++ {
+		// Decode the combination.
+		rem := k
+		for i := len(g.C.Tests) - 1; i >= 0; i-- {
+			a := g.C.Tests[i].Arity()
+			outcome[i] = rem % a
+			rem /= a
+		}
+		// Walk the graph under these outcomes.
+		fired := make([]bool, len(g.C.Actions))
+		seen := make(map[*cfsm.Test]bool)
+		v := g.Begin
+		steps := 0
+		for v.Kind != End {
+			if steps++; steps > len(g.Vertices)+1 {
+				return fmt.Errorf("sgraph: combination %d: evaluation does not terminate", k)
+			}
+			switch v.Kind {
+			case Begin:
+				v = v.Next
+			case Assign:
+				fired[g.C.ActionID(v.Action)] = true
+				v = v.Next
+			case Test:
+				idx := 0
+				for _, t := range v.Tests {
+					if seen[t] {
+						return fmt.Errorf("sgraph: combination %d: test %s visited twice on one path",
+							k, t.Name())
+					}
+					seen[t] = true
+					idx = idx*t.Arity() + outcome[idOf[t]]
+				}
+				v = v.Children[idx]
+			}
+		}
+		// Compare against the reactive function.
+		want, err := r.ActionSetFor(outcome)
+		if err != nil {
+			return fmt.Errorf("sgraph: combination %d: %w", k, err)
+		}
+		for j := range want {
+			if fired[j] != want[j] {
+				return fmt.Errorf(
+					"sgraph: combination %d: action %s fired=%v, reactive function says %v",
+					k, g.C.Actions[j].Name(), fired[j], want[j])
+			}
+		}
+	}
+	return nil
+}

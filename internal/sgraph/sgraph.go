@@ -1,0 +1,331 @@
+// Package sgraph implements the software graph (s-graph) of Section
+// III of the paper: a directed acyclic control/data-flow graph with
+// BEGIN, END, TEST and ASSIGN vertices that represents the software
+// implementation of one CFSM transition function. The s-graph is built
+// from the BDD of the CFSM's characteristic function (Theorem 1), is
+// in one-to-one correspondence with the statements of the generated C
+// code, and is the structure on which code size and execution time are
+// estimated.
+package sgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"polis/internal/cfsm"
+)
+
+// Kind enumerates s-graph vertex types (Definition 1).
+type Kind int
+
+// Vertex kinds.
+const (
+	Begin Kind = iota
+	End
+	Test
+	Assign
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Begin:
+		return "BEGIN"
+	case End:
+		return "END"
+	case Test:
+		return "TEST"
+	default:
+		return "ASSIGN"
+	}
+}
+
+// Vertex is one s-graph node. A TEST vertex carries one or more
+// primitive tests (more than one after TEST-node collapsing) and one
+// child per combined outcome; the paper's footnote 3 allows more than
+// two children, which multi-valued selector tests use directly. BEGIN
+// and ASSIGN vertices have a single Next child.
+type Vertex struct {
+	ID   int
+	Kind Kind
+
+	// Test vertices.
+	Tests    []*cfsm.Test
+	Children []*Vertex // length = product of test arities
+
+	// Assign vertices.
+	Action *cfsm.Action
+	Next   *Vertex
+}
+
+// Arity returns the number of outgoing edges of a TEST vertex.
+func (v *Vertex) Arity() int {
+	n := 1
+	for _, t := range v.Tests {
+		n *= t.Arity()
+	}
+	return n
+}
+
+// SGraph is a complete software graph for one CFSM.
+type SGraph struct {
+	C        *cfsm.CFSM
+	Begin    *Vertex
+	End      *Vertex
+	Vertices []*Vertex // all vertices, Begin first, in creation order
+}
+
+// newVertex appends a vertex to the graph.
+func (g *SGraph) newVertex(k Kind) *Vertex {
+	v := &Vertex{ID: len(g.Vertices), Kind: k}
+	g.Vertices = append(g.Vertices, v)
+	return v
+}
+
+// Stats summarises the structure of an s-graph.
+type Stats struct {
+	Vertices int
+	Tests    int
+	Assigns  int
+	Edges    int
+	// Depth is the maximum number of vertices on a BEGIN-to-END
+	// path; with the outputs-after-support ordering each input is
+	// tested at most once per path, so Depth bounds execution time.
+	Depth int
+	// Paths is the number of distinct BEGIN-to-END paths (capped at
+	// 1<<62 to avoid overflow on pathological graphs).
+	Paths int64
+}
+
+// ComputeStats traverses the graph once and returns its statistics.
+func (g *SGraph) ComputeStats() Stats {
+	var s Stats
+	depth := make(map[*Vertex]int)
+	paths := make(map[*Vertex]int64)
+	var walk func(v *Vertex) (int, int64)
+	walk = func(v *Vertex) (int, int64) {
+		if d, ok := depth[v]; ok {
+			return d, paths[v]
+		}
+		s.Vertices++
+		var d int
+		var p int64
+		switch v.Kind {
+		case End:
+			d, p = 1, 1
+		case Test:
+			s.Tests++
+			for _, c := range v.Children {
+				s.Edges++
+				cd, cp := walk(c)
+				if cd+1 > d {
+					d = cd + 1
+				}
+				p += cp
+				if p < 0 || p > 1<<62 {
+					p = 1 << 62
+				}
+			}
+		default: // Begin, Assign
+			if v.Kind == Assign {
+				s.Assigns++
+			}
+			s.Edges++
+			cd, cp := walk(v.Next)
+			d, p = cd+1, cp
+		}
+		depth[v] = d
+		paths[v] = p
+		return d, p
+	}
+	d, p := walk(g.Begin)
+	s.Depth = d
+	s.Paths = p
+	return s
+}
+
+// Evaluate executes the s-graph under a snapshot, implementing the
+// paper's procedure evaluate: tests are evaluated as TEST vertices are
+// reached, actions execute as soon as their ASSIGN vertex is visited.
+// All expression reads see the pre-reaction state (copy-on-entry), so
+// the result matches cfsm.CFSM.React for a functional s-graph. Fired
+// reports whether any ASSIGN vertex was visited, which is what the
+// RTOS uses to decide whether input events were consumed.
+func (g *SGraph) Evaluate(snap cfsm.Snapshot) cfsm.Reaction {
+	next := make(map[*cfsm.StateVar]int64, len(snap.State))
+	for v, val := range snap.State {
+		next[v] = val
+	}
+	r := cfsm.Reaction{NextState: next}
+	env := snap.Env()
+	v := g.Begin
+	for v.Kind != End {
+		switch v.Kind {
+		case Begin:
+			v = v.Next
+		case Test:
+			idx := 0
+			for _, t := range v.Tests {
+				idx = idx*t.Arity() + snap.EvalTest(t)
+			}
+			v = v.Children[idx]
+		case Assign:
+			r.Fired = true
+			a := v.Action
+			switch a.Kind {
+			case cfsm.ActEmit:
+				em := cfsm.Emission{Signal: a.Signal}
+				if a.Value != nil {
+					em.Value = a.Value.Eval(env)
+				}
+				r.Emitted = append(r.Emitted, em)
+			case cfsm.ActAssign:
+				next[a.Var] = a.Expr.Eval(env)
+			}
+			v = v.Next
+		}
+	}
+	return r
+}
+
+// CheckWellFormed verifies Definition 1 invariants: a single BEGIN
+// source, a single END sink, TEST vertices with the right number of
+// children, acyclicity, and that all vertices are reachable.
+func (g *SGraph) CheckWellFormed() error {
+	if g.Begin == nil || g.Begin.Kind != Begin {
+		return fmt.Errorf("sgraph: missing BEGIN")
+	}
+	if g.End == nil || g.End.Kind != End {
+		return fmt.Errorf("sgraph: missing END")
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*Vertex]int)
+	var visit func(v *Vertex) error
+	visit = func(v *Vertex) error {
+		switch color[v] {
+		case grey:
+			return fmt.Errorf("sgraph: cycle through vertex %d", v.ID)
+		case black:
+			return nil
+		}
+		color[v] = grey
+		switch v.Kind {
+		case End:
+			// sink
+		case Test:
+			if len(v.Tests) == 0 {
+				return fmt.Errorf("sgraph: TEST vertex %d with no tests", v.ID)
+			}
+			if len(v.Children) != v.Arity() {
+				return fmt.Errorf("sgraph: TEST vertex %d has %d children, want %d",
+					v.ID, len(v.Children), v.Arity())
+			}
+			for _, c := range v.Children {
+				if err := visit(c); err != nil {
+					return err
+				}
+			}
+		case Begin, Assign:
+			if v.Kind == Assign && v.Action == nil {
+				return fmt.Errorf("sgraph: ASSIGN vertex %d with no action", v.ID)
+			}
+			if v.Next == nil {
+				return fmt.Errorf("sgraph: vertex %d has no next", v.ID)
+			}
+			if err := visit(v.Next); err != nil {
+				return err
+			}
+		}
+		color[v] = black
+		return nil
+	}
+	if err := visit(g.Begin); err != nil {
+		return err
+	}
+	if color[g.End] != black {
+		return fmt.Errorf("sgraph: END not reachable from BEGIN")
+	}
+	for _, v := range g.Vertices {
+		if color[v] != black {
+			return fmt.Errorf("sgraph: vertex %d unreachable", v.ID)
+		}
+	}
+	return nil
+}
+
+// Reachable returns the vertices reachable from BEGIN in a stable
+// topological order (parents before children).
+func (g *SGraph) Reachable() []*Vertex {
+	var order []*Vertex
+	seen := make(map[*Vertex]bool)
+	var visit func(v *Vertex)
+	visit = func(v *Vertex) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		order = append(order, v)
+		switch v.Kind {
+		case Test:
+			for _, c := range v.Children {
+				visit(c)
+			}
+		case Begin, Assign:
+			visit(v.Next)
+		}
+	}
+	visit(g.Begin)
+	return order
+}
+
+// Parents computes the in-degree of each reachable vertex.
+func (g *SGraph) Parents() map[*Vertex]int {
+	in := make(map[*Vertex]int)
+	for _, v := range g.Reachable() {
+		switch v.Kind {
+		case Test:
+			for _, c := range v.Children {
+				in[c]++
+			}
+		case Begin, Assign:
+			in[v.Next]++
+		}
+	}
+	return in
+}
+
+// Dot renders the graph in Graphviz format for inspection.
+func (g *SGraph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.C.Name)
+	vs := g.Reachable()
+	sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
+	for _, v := range vs {
+		label := v.Kind.String()
+		switch v.Kind {
+		case Test:
+			names := make([]string, len(v.Tests))
+			for i, t := range v.Tests {
+				names[i] = t.Name()
+			}
+			label = strings.Join(names, ",")
+		case Assign:
+			label = v.Action.Name()
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v.ID, label)
+		switch v.Kind {
+		case Test:
+			for i, c := range v.Children {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d\"];\n", v.ID, c.ID, i)
+			}
+		case Begin, Assign:
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", v.ID, v.Next.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,286 @@
+// Package sim drives co-simulation of a CFSM network under a
+// generated RTOS (the counterpart of the paper's simulation
+// environment [30]): environment stimuli are injected on a cycle
+// timeline, software CFSMs execute either behaviourally with estimated
+// costs or exactly on the virtual CPU, and the resulting event trace
+// supports latency and throughput measurements with realistic inputs
+// — including seldom-executed paths and the scheduling policy, as
+// Section III-C1 describes for dynamic performance calculation.
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"polis/internal/cfsm"
+	"polis/internal/codegen"
+	"polis/internal/estimate"
+	"polis/internal/rtos"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+// Mode selects how software reactions are timed.
+type Mode int
+
+// Simulation modes.
+const (
+	// Behavioral runs reactions with the reference interpreter and
+	// charges the estimator's worst-case cycles per reaction.
+	Behavioral Mode = iota
+	// VMExact assembles each CFSM and executes every reaction on the
+	// virtual CPU, charging the exact cycle count.
+	VMExact
+)
+
+// Stimulus is one environment event.
+type Stimulus struct {
+	Time   int64
+	Signal *cfsm.Signal
+	Value  int64
+}
+
+// Options configures a simulation run.
+type Options struct {
+	Cfg      rtos.Config
+	Mode     Mode
+	Profile  *vm.Profile
+	Ordering sgraph.Ordering
+	Codegen  codegen.Options
+}
+
+// Result carries the outcome of a run.
+type Result struct {
+	Trace  []rtos.TraceEvent
+	Cycles int64
+	System *rtos.System
+	// CodeBytes and DataBytes total the software partition (tasks
+	// only; add the RTOS size model for full ROM/RAM).
+	CodeBytes int64
+	DataBytes int64
+}
+
+// vmTask wraps one assembled CFSM for exact co-simulation.
+type vmTask struct {
+	g       *sgraph.SGraph
+	prog    *vm.Program
+	machine *vm.Machine
+	sigs    codegen.SignalMap
+	byID    map[int]*cfsm.Signal
+
+	// per-reaction capture
+	snap    cfsm.Snapshot
+	emitted []cfsm.Emission
+	cycles  int64
+}
+
+func (t *vmTask) Present(sig int) bool { return t.snap.Present[t.byID[sig]] }
+func (t *vmTask) Value(sig int) int64  { return t.snap.Values[t.byID[sig]] }
+func (t *vmTask) Emit(sig int) {
+	t.emitted = append(t.emitted, cfsm.Emission{Signal: t.byID[sig]})
+}
+func (t *vmTask) EmitValue(sig int, v int64) {
+	t.emitted = append(t.emitted, cfsm.Emission{Signal: t.byID[sig], Value: v})
+}
+
+// react executes one reaction on the VM and records its exact cost.
+func (t *vmTask) react(snap cfsm.Snapshot) cfsm.Reaction {
+	t.snap = snap
+	t.emitted = nil
+	for _, sv := range t.g.C.States {
+		t.machine.Mem[t.prog.Symbols["st_"+sv.Name]] = snap.State[sv]
+	}
+	cycles, err := t.machine.Run(t.prog, codegen.EntryLabel(t.g.C))
+	if err != nil {
+		panic(fmt.Sprintf("sim: vm task %s: %v", t.g.C.Name, err))
+	}
+	t.cycles = cycles
+	next := make(map[*cfsm.StateVar]int64, len(snap.State))
+	for _, sv := range t.g.C.States {
+		next[sv] = t.machine.Mem[t.prog.Symbols["st_"+sv.Name]]
+	}
+	// Whether any ASSIGN vertex executed decides event consumption
+	// (Section IV-D); the s-graph interpreter is the authority, since
+	// the object code has no out-of-band "fired" channel.
+	fired := t.g.Evaluate(snap).Fired
+	return cfsm.Reaction{
+		Fired:     fired,
+		Emitted:   t.emitted,
+		NextState: next,
+	}
+}
+
+// BuildVMTask assembles a machine and returns its RTOS task plus its
+// memory footprint on the profile.
+func BuildVMTask(m *cfsm.CFSM, opt Options) (*rtos.Task, int64, int64, error) {
+	r, err := cfsm.BuildReactive(m)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	g, err := sgraph.Build(r, opt.Ordering)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sigs := codegen.NewSignalMap(m)
+	prog, err := codegen.Assemble(g, sigs, opt.Codegen)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	vt := &vmTask{
+		g: g, prog: prog, sigs: sigs,
+		byID: make(map[int]*cfsm.Signal),
+	}
+	for s, id := range sigs {
+		vt.byID[id] = s
+	}
+	vt.machine = vm.NewMachine(opt.Profile, prog.Words, vt)
+	codegen.InitStateMemory(g, prog, vt.machine)
+	task := rtos.NewTask(m, vt.react, func(cfsm.Snapshot) int64 { return vt.cycles })
+	code := int64(opt.Profile.CodeSize(prog))
+	data := int64(opt.Profile.DataSize(prog))
+	return task, code, data, nil
+}
+
+// Run simulates the network until the given cycle, injecting the
+// stimuli at their times.
+func Run(n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result, error) {
+	if opt.Profile == nil {
+		opt.Profile = vm.HC11()
+	}
+	res := &Result{}
+	params := estimate.Calibrate(opt.Profile)
+	mk := func(m *cfsm.CFSM) (*rtos.Task, error) {
+		switch opt.Mode {
+		case VMExact:
+			t, code, data, err := BuildVMTask(m, opt)
+			if err != nil {
+				return nil, err
+			}
+			res.CodeBytes += code
+			res.DataBytes += data
+			return t, nil
+		default:
+			r, err := cfsm.BuildReactive(m)
+			if err != nil {
+				return nil, err
+			}
+			g, err := sgraph.Build(r, opt.Ordering)
+			if err != nil {
+				return nil, err
+			}
+			est := estimate.EstimateSGraph(g, params, estimate.Options{Codegen: opt.Codegen})
+			res.CodeBytes += est.CodeBytes
+			res.DataBytes += est.DataBytes
+			mm := m
+			return rtos.NewTask(mm, mm.React,
+				func(cfsm.Snapshot) int64 { return est.MaxCycles }), nil
+		}
+	}
+	sys, err := rtos.NewSystem(n, opt.Cfg, mk)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(stimuli, func(i, j int) bool { return stimuli[i].Time < stimuli[j].Time })
+	for _, st := range stimuli {
+		if st.Time > until {
+			break
+		}
+		if err := sys.Advance(st.Time); err != nil {
+			return nil, err
+		}
+		sys.EmitEnv(st.Signal, st.Value)
+	}
+	if err := sys.Advance(until); err != nil {
+		return nil, err
+	}
+	res.Trace = sys.Trace
+	res.Cycles = sys.Now
+	res.System = sys
+	return res, nil
+}
+
+// Latencies returns, for every environment emission of in, the delay
+// until the first subsequent non-environment emission of out.
+func Latencies(trace []rtos.TraceEvent, in, out *cfsm.Signal) []int64 {
+	var lats []int64
+	for i, e := range trace {
+		if e.Signal != in || e.From != "env" {
+			continue
+		}
+		for _, f := range trace[i:] {
+			if f.Signal == out && f.From != "env" && f.From != "poll" && f.Time >= e.Time {
+				lats = append(lats, f.Time-e.Time)
+				break
+			}
+		}
+	}
+	return lats
+}
+
+// MaxLatency returns the worst observed latency, or -1 when no pair
+// matched.
+func MaxLatency(trace []rtos.TraceEvent, in, out *cfsm.Signal) int64 {
+	lats := Latencies(trace, in, out)
+	if len(lats) == 0 {
+		return -1
+	}
+	max := lats[0]
+	for _, l := range lats[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// CountEmissions tallies non-environment emissions per signal.
+func CountEmissions(trace []rtos.TraceEvent, sig *cfsm.Signal) int {
+	n := 0
+	for _, e := range trace {
+		if e.Signal == sig && e.From != "env" && e.From != "poll" {
+			n++
+		}
+	}
+	return n
+}
+
+// PeriodicStimuli builds a pulse train for a signal.
+func PeriodicStimuli(sig *cfsm.Signal, start, period, until int64, value func(i int) int64) []Stimulus {
+	var out []Stimulus
+	i := 0
+	for t := start; t <= until; t += period {
+		v := int64(0)
+		if value != nil {
+			v = value(i)
+		}
+		out = append(out, Stimulus{Time: t, Signal: sig, Value: v})
+		i++
+	}
+	return out
+}
+
+// WriteTraceCSV renders a trace as CSV (time,signal,value,from) for
+// offline analysis, mirroring the logging of the paper's simulation
+// environment.
+func WriteTraceCSV(w io.Writer, trace []rtos.TraceEvent) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "signal", "value", "from"}); err != nil {
+		return err
+	}
+	for _, e := range trace {
+		rec := []string{
+			strconv.FormatInt(e.Time, 10),
+			e.Signal.Name,
+			strconv.FormatInt(e.Value, 10),
+			e.From,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

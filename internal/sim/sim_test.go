@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polis/internal/cfsm"
+	"polis/internal/expr"
+	"polis/internal/rtos"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+// scalerNet: env sample -> scaler (doubles) -> limiter (clamps to 10)
+// -> out.
+func scalerNet() (*cfsm.Network, *cfsm.Signal, *cfsm.Signal) {
+	n := cfsm.NewNetwork("scaler")
+	sample := n.NewSignal("sample", false)
+	mid := n.NewSignal("mid", false)
+	out := n.NewSignal("out", false)
+
+	sc := cfsm.New("scaler")
+	sc.AttachInput(sample)
+	sc.AttachOutput(mid)
+	ps := sc.Present(sample)
+	sc.AddTransition([]cfsm.Cond{cfsm.On(ps, 1)},
+		sc.EmitV(mid, expr.Mul(expr.V("?sample"), expr.C(2))))
+
+	lim := cfsm.New("limiter")
+	lim.AttachInput(mid)
+	lim.AttachOutput(out)
+	pm := lim.Present(mid)
+	hi := lim.Pred(expr.Gt(expr.V("?mid"), expr.C(10)))
+	lim.AddTransition([]cfsm.Cond{cfsm.On(pm, 1), cfsm.On(hi, 1)},
+		lim.EmitV(out, expr.C(10)))
+	lim.AddTransition([]cfsm.Cond{cfsm.On(pm, 1), cfsm.On(hi, 0)},
+		lim.EmitV(out, expr.V("?mid")))
+
+	if err := n.Add(sc); err != nil {
+		panic(err)
+	}
+	if err := n.Add(lim); err != nil {
+		panic(err)
+	}
+	return n, sample, out
+}
+
+func defaultOpts(mode Mode) Options {
+	return Options{
+		Cfg:      rtos.DefaultConfig(),
+		Mode:     mode,
+		Profile:  vm.HC11(),
+		Ordering: sgraph.OrderSiftAfterSupport,
+	}
+}
+
+func outValues(res *Result, out *cfsm.Signal) []int64 {
+	var vals []int64
+	for _, e := range res.Trace {
+		if e.Signal == out && e.From != "env" {
+			vals = append(vals, e.Value)
+		}
+	}
+	return vals
+}
+
+func TestRunBehavioralAndVMAgree(t *testing.T) {
+	n, sample, out := scalerNet()
+	stim := PeriodicStimuli(sample, 1000, 5000, 60000, func(i int) int64 {
+		return int64(i % 9)
+	})
+	rb, err := Run(n, stim, 200000, defaultOpts(Behavioral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := Run(n, stim, 200000, defaultOpts(VMExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := outValues(rb, out)
+	vv := outValues(rv, out)
+	if len(vb) == 0 {
+		t.Fatal("no outputs in behavioral run")
+	}
+	if len(vb) != len(vv) {
+		t.Fatalf("output counts differ: %d vs %d", len(vb), len(vv))
+	}
+	for i := range vb {
+		if vb[i] != vv[i] {
+			t.Fatalf("output %d differs: %d vs %d", i, vb[i], vv[i])
+		}
+		want := int64((i % 9) * 2)
+		if want > 10 {
+			want = 10
+		}
+		if vb[i] != want {
+			t.Fatalf("output %d = %d, want %d", i, vb[i], want)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	n, sample, out := scalerNet()
+	stim := PeriodicStimuli(sample, 1000, 10000, 50000, nil)
+	res, err := Run(n, stim, 200000, defaultOpts(VMExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := Latencies(res.Trace, sample, out)
+	if len(lats) != len(stim) {
+		t.Fatalf("latency samples %d, want %d", len(lats), len(stim))
+	}
+	max := MaxLatency(res.Trace, sample, out)
+	for _, l := range lats {
+		if l <= 0 || l > max {
+			t.Errorf("latency %d out of range (max %d)", l, max)
+		}
+	}
+	if max > 4000 {
+		t.Errorf("end-to-end latency %d implausibly high for an idle system", max)
+	}
+}
+
+func TestOverloadLosesEvents(t *testing.T) {
+	n, sample, out := scalerNet()
+	// Events far faster than the processing chain can absorb.
+	stim := PeriodicStimuli(sample, 10, 20, 20000, nil)
+	res, err := Run(n, stim, 100000, defaultOpts(VMExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := CountEmissions(res.Trace, out)
+	if outs >= len(stim) {
+		t.Errorf("overload should drop events: %d outputs for %d inputs", outs, len(stim))
+	}
+	var lost int64
+	for _, task := range res.System.Tasks {
+		lost += task.Lost
+	}
+	if lost == 0 {
+		t.Error("one-place buffers must record losses under overload")
+	}
+}
+
+func TestVMModeReportsFootprint(t *testing.T) {
+	n, sample, _ := scalerNet()
+	stim := PeriodicStimuli(sample, 1000, 10000, 20000, nil)
+	res, err := Run(n, stim, 50000, defaultOpts(VMExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CodeBytes <= 0 || res.DataBytes <= 0 {
+		t.Errorf("footprint not reported: %+v", res)
+	}
+}
+
+func TestUtilizationGrowsWithLoad(t *testing.T) {
+	n, sample, _ := scalerNet()
+	slow, err := Run(n, PeriodicStimuli(sample, 1000, 50000, 400000, nil), 500000, defaultOpts(VMExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(n, PeriodicStimuli(sample, 1000, 5000, 400000, nil), 500000, defaultOpts(VMExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.System.Utilization() <= slow.System.Utilization() {
+		t.Errorf("utilization must grow with input rate: %.4f vs %.4f",
+			fast.System.Utilization(), slow.System.Utilization())
+	}
+}
+
+func TestPeriodicStimuli(t *testing.T) {
+	n, sample, _ := scalerNet()
+	_ = n
+	st := PeriodicStimuli(sample, 0, 100, 1000, func(i int) int64 { return int64(i) })
+	if len(st) != 11 {
+		t.Fatalf("stimulus count %d, want 11", len(st))
+	}
+	if st[3].Time != 300 || st[3].Value != 3 {
+		t.Errorf("stimulus 3 wrong: %+v", st[3])
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	n, sample, _ := scalerNet()
+	res, err := Run(n, PeriodicStimuli(sample, 1000, 20000, 60000, nil), 100000, defaultOpts(Behavioral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time,signal,value,from\n") {
+		t.Errorf("csv header wrong: %q", out[:40])
+	}
+	if !strings.Contains(out, "sample") || !strings.Contains(out, "out") {
+		t.Error("csv missing signals")
+	}
+	lines := strings.Count(out, "\n")
+	if lines < len(res.Trace) {
+		t.Errorf("csv rows %d < trace events %d", lines, len(res.Trace))
+	}
+}

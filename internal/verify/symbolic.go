@@ -1,0 +1,195 @@
+package verify
+
+import (
+	"fmt"
+
+	"polis/internal/bdd"
+	"polis/internal/cfsm"
+	"polis/internal/expr"
+	"polis/internal/mvar"
+)
+
+// SymbolicResult is the outcome of BDD-based reachability.
+type SymbolicResult struct {
+	// Reached is the characteristic function of the reachable state
+	// set over the current-state variables.
+	Reached bdd.Node
+	// States is the number of reachable control states.
+	States int
+	// Iterations is the number of image computations to the fixed
+	// point.
+	Iterations int
+}
+
+// SymbolicReachable computes the reachable control-state set of a
+// CFSM with breadth-first symbolic image computation over the BDD of
+// its transition relation — the classical FSM traversal the paper's
+// Section I-G alludes to ("abundant theoretical and practical results
+// concerning their manipulation ... formal verification of
+// properties"). It applies to the *control skeleton*: machines whose
+// state variables are all control variables (Domain > 0) and whose
+// transitions assign them constants. Data predicates are abstracted
+// nondeterministically (both outcomes possible), so the result
+// over-approximates the concrete reachable set — sound for safety.
+func SymbolicReachable(m *cfsm.CFSM) (*SymbolicResult, error) {
+	for _, sv := range m.States {
+		if sv.Domain <= 0 {
+			return nil, fmt.Errorf("verify: %s has data variable %s; symbolic traversal handles control skeletons",
+				m.Name, sv.Name)
+		}
+	}
+	s := mvar.NewSpace()
+	cur := make(map[*cfsm.StateVar]*mvar.MV, len(m.States))
+	next := make(map[*cfsm.StateVar]*mvar.MV, len(m.States))
+	var curVars, nextVars []*mvar.MV
+	for _, sv := range m.States {
+		c := s.NewMV(sv.Name, sv.Domain, mvar.Input)
+		n := s.NewMV(sv.Name+"'", sv.Domain, mvar.Output)
+		cur[sv] = c
+		next[sv] = n
+		curVars = append(curVars, c)
+		nextVars = append(nextVars, n)
+	}
+	// Boolean inputs for presence tests and (abstracted) predicates.
+	inVar := make(map[*cfsm.Test]*mvar.MV)
+	var inVars []*mvar.MV
+	for _, t := range m.Tests {
+		if t.Kind != cfsm.TestSelector {
+			v := s.NewMV(t.Name(), 2, mvar.Input)
+			inVar[t] = v
+			inVars = append(inVars, v)
+		}
+	}
+	mgr := s.M
+
+	// Transition relation: OR over transitions of
+	//   guard(cur, inputs) AND next-state constraints,
+	// plus the stutter transition (no transition fires -> state holds).
+	rel := bdd.False
+	fired := bdd.False
+	for ti, tr := range m.Trans {
+		g := bdd.True
+		for _, cond := range tr.Guard {
+			t := cond.Test
+			if t.Kind == cfsm.TestSelector {
+				g = mgr.And(g, s.Eq(cur[t.Sel], cond.Val))
+			} else {
+				g = mgr.And(g, s.Eq(inVar[t], cond.Val))
+			}
+		}
+		// Next-state constraints: assigned control vars take their
+		// constant; others hold.
+		assigned := make(map[*cfsm.StateVar]int)
+		for _, a := range tr.Actions {
+			if a.Kind != cfsm.ActAssign {
+				continue
+			}
+			c, isConst := constValue(a.Expr)
+			if !isConst {
+				return nil, fmt.Errorf("verify: transition %d assigns non-constant to control var %s",
+					ti, a.Var.Name)
+			}
+			assigned[a.Var] = int(c)
+		}
+		t := g
+		for _, sv := range m.States {
+			if val, ok := assigned[sv]; ok {
+				t = mgr.And(t, s.Eq(next[sv], val))
+			} else {
+				t = mgr.And(t, eqVars(s, cur[sv], next[sv]))
+			}
+		}
+		rel = mgr.Or(rel, t)
+		fired = mgr.Or(fired, g)
+	}
+	// Stutter: where no guard fires, the state holds.
+	hold := bdd.True
+	for _, sv := range m.States {
+		hold = mgr.And(hold, eqVars(s, cur[sv], next[sv]))
+	}
+	rel = mgr.Or(rel, mgr.And(mgr.Not(fired), hold))
+	mgr.Protect(rel)
+
+	// Initial state.
+	reached := bdd.True
+	for _, sv := range m.States {
+		reached = mgr.And(reached, s.Eq(cur[sv], int(sv.Init)))
+	}
+	mgr.Protect(reached)
+
+	// Fixed point: reached' = reached OR rename(Exists inputs,cur .
+	// reached AND rel).
+	iters := 0
+	for {
+		iters++
+		img := mgr.And(reached, rel)
+		img = s.Exists(img, inVars...)
+		img = s.Exists(img, curVars...)
+		// Rename next -> cur (bit by bit; the encodings are
+		// identical).
+		img = renameVars(s, img, nextVars, curVars)
+		nr := mgr.Or(reached, img)
+		if nr == reached {
+			break
+		}
+		mgr.Unprotect(reached)
+		reached = mgr.Protect(nr)
+		if iters > 1<<16 {
+			return nil, fmt.Errorf("verify: fixed point did not converge")
+		}
+	}
+
+	// Count the states (valid encodings only).
+	count := 0
+	enumerateStates(s, curVars, reached, func() { count++ })
+	return &SymbolicResult{Reached: reached, States: count, Iterations: iters}, nil
+}
+
+// constValue extracts a constant expression's value.
+func constValue(e expr.Expr) (int64, bool) {
+	if len(e.Vars(nil)) != 0 {
+		return 0, false
+	}
+	return e.Eval(nil), true
+}
+
+// eqVars builds the equality constraint between two equally sized
+// multi-valued variables.
+func eqVars(s *mvar.Space, a, b *mvar.MV) bdd.Node {
+	f := bdd.False
+	for v := 0; v < a.Size; v++ {
+		f = s.M.Or(f, s.M.And(s.Eq(a, v), s.Eq(b, v)))
+	}
+	return f
+}
+
+// renameVars substitutes the bits of from-variables with the bits of
+// to-variables in f (the encodings must match in width).
+func renameVars(s *mvar.Space, f bdd.Node, from, to []*mvar.MV) bdd.Node {
+	for i, fv := range from {
+		tv := to[i]
+		for k := range fv.Bits {
+			f = s.M.Compose(f, fv.Bits[k], s.M.VarNode(tv.Bits[k]))
+		}
+	}
+	return f
+}
+
+// enumerateStates calls fn once per satisfying state assignment of f
+// over the given variables.
+func enumerateStates(s *mvar.Space, vars []*mvar.MV, f bdd.Node, fn func()) {
+	var rec func(i int, g bdd.Node)
+	rec = func(i int, g bdd.Node) {
+		if g == bdd.False {
+			return
+		}
+		if i == len(vars) {
+			fn()
+			return
+		}
+		for v := 0; v < vars[i].Size; v++ {
+			rec(i+1, s.CofactorValue(g, vars[i], v))
+		}
+	}
+	rec(0, f)
+}

@@ -1,0 +1,240 @@
+// Package vm implements the simulated embedded target processor the
+// reproduction measures against. The paper compiled its generated C
+// onto a Motorola 68HC11 (INTROL compiler), a MIPS R3000 and a DEC
+// ALPHA; those targets are replaced here by a deterministic,
+// cycle-accurate virtual CPU with two cost profiles — an 8-bit
+// "HC11-class" micro-controller profile (expensive arithmetic library
+// calls, short-branch encodings, slow RTOS traps) and a 32-bit
+// "R3K-class" profile (uniform 4-byte instructions, fast ALU). The
+// relationships the paper studies — estimated versus measured cost,
+// and the relative cost of alternative code structures — only require
+// such a fixed, measurable target; absolute byte and cycle values were
+// target-specific in the paper as well.
+package vm
+
+import (
+	"fmt"
+
+	"polis/internal/expr"
+)
+
+// OpCode enumerates the virtual instruction set.
+type OpCode int
+
+// Instruction opcodes.
+const (
+	NOP  OpCode = iota
+	LDI         // Rd <- Imm
+	LD          // Rd <- Mem[Addr]
+	ST          // Mem[Addr] <- Rs
+	MOV         // Rd <- Rs
+	ALU         // Rd <- Rd aop Rs (aop is an expr.Op)
+	NEG         // Rd <- -Rd
+	NOT         // Rd <- (Rd == 0)
+	BR          // if Rs cond Rt then jump Label
+	BRZ         // if Rs == 0 then jump Label
+	BRNZ        // if Rs != 0 then jump Label
+	JMP         // jump Label
+	JTAB        // multiway jump: Table[Rs] (Rs must be in range)
+	SVC         // RTOS service call (Num selects the service)
+	HALT        // end of routine
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	NOP: "nop", LDI: "ldi", LD: "ld", ST: "st", MOV: "mov", ALU: "alu",
+	NEG: "neg", NOT: "not", BR: "br", BRZ: "brz", BRNZ: "brnz",
+	JMP: "jmp", JTAB: "jtab", SVC: "svc", HALT: "halt",
+}
+
+func (o OpCode) String() string { return opcodeNames[o] }
+
+// Cond is the comparison of a BR instruction.
+type Cond int
+
+// Branch conditions.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+func (c Cond) String() string { return condNames[c] }
+
+// Holds reports whether the condition holds for the operand values.
+func (c Cond) Holds(a, b int64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// Service numbers for SVC.
+const (
+	SvcPresent = iota // r0 <- presence flag of signal Num arg (Imm)
+	SvcValue          // r0 <- value of input signal Imm
+	SvcEmit           // emit pure signal Imm
+	SvcEmitV          // emit signal Imm with value in Rs
+)
+
+// Instr is one virtual instruction. Fields are used according to Op.
+type Instr struct {
+	Op    OpCode
+	Rd    int
+	Rs    int
+	Rt    int
+	Cond  Cond
+	AOp   expr.Op
+	Imm   int64
+	Addr  int
+	Num   int      // SVC service number
+	Label string   // branch/jump target
+	Table []string // JTAB targets
+	// Comment annotates listings with the originating s-graph
+	// vertex; it has no semantic effect.
+	Comment string
+}
+
+// Program is an assembled routine: a label map plus the instruction
+// stream. Addresses index the data memory of the machine; Words is
+// the number of data words the routine uses.
+type Program struct {
+	Name    string
+	Instrs  []Instr
+	Labels  map[string]int // label -> instruction index
+	Words   int            // data memory footprint in words
+	Symbols map[string]int // variable name -> address, for listings
+}
+
+// NewProgram creates an empty program.
+func NewProgram(name string) *Program {
+	return &Program{
+		Name:    name,
+		Labels:  make(map[string]int),
+		Symbols: make(map[string]int),
+	}
+}
+
+// Emit appends an instruction and returns its index.
+func (p *Program) Emit(i Instr) int {
+	p.Instrs = append(p.Instrs, i)
+	return len(p.Instrs) - 1
+}
+
+// Mark defines a label at the current position.
+func (p *Program) Mark(label string) error {
+	if _, dup := p.Labels[label]; dup {
+		return fmt.Errorf("vm: duplicate label %q", label)
+	}
+	p.Labels[label] = len(p.Instrs)
+	return nil
+}
+
+// Alloc reserves a data word for the named variable and returns its
+// address. Repeated calls with one name return the same address.
+func (p *Program) Alloc(name string) int {
+	if a, ok := p.Symbols[name]; ok {
+		return a
+	}
+	a := p.Words
+	p.Symbols[name] = a
+	p.Words++
+	return a
+}
+
+// Resolve verifies every referenced label exists.
+func (p *Program) Resolve() error {
+	check := func(l string) error {
+		if l == "" {
+			return fmt.Errorf("vm: empty label")
+		}
+		if _, ok := p.Labels[l]; !ok {
+			return fmt.Errorf("vm: undefined label %q", l)
+		}
+		return nil
+	}
+	for i, in := range p.Instrs {
+		switch in.Op {
+		case BR, BRZ, BRNZ, JMP:
+			if err := check(in.Label); err != nil {
+				return fmt.Errorf("instr %d: %w", i, err)
+			}
+		case JTAB:
+			if len(in.Table) == 0 {
+				return fmt.Errorf("instr %d: empty jump table", i)
+			}
+			for _, l := range in.Table {
+				if err := check(l); err != nil {
+					return fmt.Errorf("instr %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Listing renders a human-readable assembly listing.
+func (p *Program) Listing() string {
+	byIndex := make(map[int][]string)
+	for l, i := range p.Labels {
+		byIndex[i] = append(byIndex[i], l)
+	}
+	var b []byte
+	appendf := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	appendf("; routine %s (%d words of data)\n", p.Name, p.Words)
+	for i, in := range p.Instrs {
+		for _, l := range byIndex[i] {
+			appendf("%s:\n", l)
+		}
+		appendf("  %-5s", in.Op)
+		switch in.Op {
+		case LDI:
+			appendf(" r%d, #%d", in.Rd, in.Imm)
+		case LD:
+			appendf(" r%d, [%d]", in.Rd, in.Addr)
+		case ST:
+			appendf(" [%d], r%d", in.Addr, in.Rs)
+		case MOV:
+			appendf(" r%d, r%d", in.Rd, in.Rs)
+		case ALU:
+			appendf("."+in.AOp.Name()+" r%d, r%d", in.Rd, in.Rs)
+		case NEG, NOT:
+			appendf(" r%d", in.Rd)
+		case BR:
+			appendf(".%s r%d, r%d, %s", in.Cond, in.Rs, in.Rt, in.Label)
+		case BRZ, BRNZ:
+			appendf(" r%d, %s", in.Rs, in.Label)
+		case JMP:
+			appendf(" %s", in.Label)
+		case JTAB:
+			appendf(" r%d, %v", in.Rs, in.Table)
+		case SVC:
+			appendf(" #%d, sig=%d, r%d", in.Num, in.Imm, in.Rs)
+		}
+		if in.Comment != "" {
+			appendf("  ; %s", in.Comment)
+		}
+		b = append(b, '\n')
+	}
+	for _, l := range byIndex[len(p.Instrs)] {
+		appendf("%s:\n", l)
+	}
+	return string(b)
+}

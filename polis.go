@@ -1,0 +1,156 @@
+// Package polis is a from-scratch reproduction of "Synthesis of
+// Software Programs for Embedded Control Applications" (Balarin,
+// Chiodo, Giusto, Hsieh, Jurecska, Lavagno, Sangiovanni-Vincentelli,
+// Sentovich, Suzuki — DAC 1995 / IEEE TCAD 18(6), 1999): the POLIS
+// software-synthesis flow from networks of Codesign Finite State
+// Machines (CFSMs) to optimized embedded C and object code, with
+// BDD-based s-graph construction, dynamic variable reordering, cost
+// and performance estimation, and automatic RTOS generation.
+//
+// The top-level package offers the one-call flow a downstream user
+// wants; the building blocks live in the internal packages and are
+// re-exported through small aliases here:
+//
+//	spec := `module blink: input tick; output led; ...`
+//	art, err := polis.SynthesizeSource(spec, polis.Options{})
+//	fmt.Println(art.C)          // generated C
+//	fmt.Println(art.Estimate)   // size/timing estimate
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced tables and figures.
+package polis
+
+import (
+	"fmt"
+
+	"polis/internal/cfsm"
+	"polis/internal/codegen"
+	"polis/internal/esterel"
+	"polis/internal/estimate"
+	"polis/internal/rtos"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+// Options selects the synthesis configuration.
+type Options struct {
+	// Ordering is the s-graph variable-ordering strategy; the zero
+	// value is the paper's default (dynamic sifting with each output
+	// constrained after its support).
+	Ordering sgraph.Ordering
+	// Target selects the cost profile; nil means the HC11-class
+	// micro-controller.
+	Target *vm.Profile
+	// Codegen tunes code generation (copy optimisation, if/switch
+	// threshold).
+	Codegen codegen.Options
+	// UseFalsePaths tightens the worst-case estimate using declared
+	// test exclusivities.
+	UseFalsePaths bool
+}
+
+func (o *Options) fill() {
+	if o.Target == nil {
+		o.Target = vm.HC11()
+	}
+}
+
+// Artifacts bundles everything synthesis produces for one CFSM.
+type Artifacts struct {
+	CFSM     *cfsm.CFSM
+	SGraph   *sgraph.SGraph
+	C        string      // generated C routine
+	Program  *vm.Program // object code for the virtual target
+	Listing  string      // assembly listing
+	Estimate estimate.Result
+	Measured vm.PathCycles // exact min/max cycles from the object code
+	CodeSize int           // measured bytes
+}
+
+// Synthesize runs the complete per-CFSM flow of Section III: reactive
+// function extraction, BDD sifting, s-graph construction (Theorem 1),
+// C and object-code generation, and cost/performance estimation.
+func Synthesize(m *cfsm.CFSM, opt Options) (*Artifacts, error) {
+	opt.fill()
+	r, err := cfsm.BuildReactive(m)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sgraph.Build(r, opt.Ordering)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Assemble(g, codegen.NewSignalMap(m), opt.Codegen)
+	if err != nil {
+		return nil, err
+	}
+	params := estimate.Calibrate(opt.Target)
+	est := estimate.EstimateSGraph(g, params, estimate.Options{
+		Codegen:       opt.Codegen,
+		UseFalsePaths: opt.UseFalsePaths,
+	})
+	meas, err := vm.AnalyzeCycles(opt.Target, prog, codegen.EntryLabel(m))
+	if err != nil {
+		return nil, err
+	}
+	return &Artifacts{
+		CFSM:     m,
+		SGraph:   g,
+		C:        codegen.EmitC(g, opt.Codegen),
+		Program:  prog,
+		Listing:  prog.Listing(),
+		Estimate: est,
+		Measured: meas,
+		CodeSize: opt.Target.CodeSize(prog),
+	}, nil
+}
+
+// SynthesizeSource parses an Esterel-subset module (see
+// internal/esterel) and synthesizes it.
+func SynthesizeSource(src string, opt Options) (*Artifacts, error) {
+	mod, err := esterel.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := esterel.Compile(mod)
+	if err != nil {
+		return nil, err
+	}
+	return Synthesize(m, opt)
+}
+
+// GenerateRTOS renders the C source of the RTOS for a network under
+// the given configuration, plus its size model on the target.
+func GenerateRTOS(n *cfsm.Network, cfg rtos.Config, target *vm.Profile) (string, rtos.SizeReport, error) {
+	if err := cfg.Validate(n); err != nil {
+		return "", rtos.SizeReport{}, err
+	}
+	if target == nil {
+		target = vm.HC11()
+	}
+	sigID := make(map[*cfsm.Signal]int, len(n.Signals))
+	for i, s := range n.Signals {
+		sigID[s] = i
+	}
+	src := codegen.RTOSHeader() + "\n" + rtos.GenerateC(n, cfg, sigID)
+	return src, rtos.SizeEstimate(target, n, cfg), nil
+}
+
+// Report renders a one-screen summary of synthesis artifacts.
+func (a *Artifacts) Report(target *vm.Profile) string {
+	if target == nil {
+		target = vm.HC11()
+	}
+	st := a.SGraph.ComputeStats()
+	return fmt.Sprintf(
+		`CFSM %s: %d tests, %d actions, %d transitions
+s-graph: %d vertices (%d TEST, %d ASSIGN), depth %d, %d paths
+code: %d bytes measured (%d estimated, %.1f%% error)
+cycles per transition: measured [%d, %d], estimated [%d, %d]
+`,
+		a.CFSM.Name, len(a.CFSM.Tests), len(a.CFSM.Actions), len(a.CFSM.Trans),
+		st.Vertices, st.Tests, st.Assigns, st.Depth, st.Paths,
+		a.CodeSize, a.Estimate.CodeBytes,
+		100*float64(a.Estimate.CodeBytes-int64(a.CodeSize))/float64(a.CodeSize),
+		a.Measured.Min, a.Measured.Max, a.Estimate.MinCycles, a.Estimate.MaxCycles)
+}
