@@ -20,10 +20,14 @@ package polis
 // figures as custom metrics and prints the full table once.
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"polis/internal/experiments"
+	"polis/internal/pipeline"
+	"polis/internal/randcfsm"
 	"polis/internal/sgraph"
 	"polis/internal/vm"
 )
@@ -279,4 +283,50 @@ func BenchmarkAblationChaining(b *testing.B) {
 		b.ReportMetric(float64(r.MaxLatency), r.Name+"-latency")
 	}
 	b.Log("\n" + experiments.FormatChaining(prof, rows))
+}
+
+// BenchmarkSynthesizeNetwork measures whole-network synthesis through
+// internal/pipeline over a 16-CFSM random network: serial-vs-parallel
+// worker scaling, then a warm-cache rerun that should cost a small
+// fraction of a cold compile.
+func BenchmarkSynthesizeNetwork(b *testing.B) {
+	cfg := randcfsm.Config{
+		MaxInputs:      5,
+		MaxOutputs:     4,
+		MaxControlVars: 3,
+		MaxDataVars:    3,
+		MaxTransitions: 24,
+		ValueRange:     8,
+	}
+	net, _, err := randcfsm.NewNetwork(rand.New(rand.NewSource(42)), 16, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SynthesizeNetwork(net, Options{}, pipeline.Config{Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(net.Machines)), "modules")
+		})
+	}
+	b.Run("warm-cache", func(b *testing.B) {
+		cache, err := pipeline.NewCache("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Populate outside the timed region: the measured cost is the
+		// all-hits rerun.
+		if _, err := SynthesizeNetwork(net, Options{}, pipeline.Config{Jobs: 4, Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := SynthesizeNetwork(net, Options{}, pipeline.Config{Jobs: 4, Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

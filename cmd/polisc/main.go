@@ -6,12 +6,19 @@
 // Usage:
 //
 //	polisc [-target hc11|r3k] [-order default|naive|inputs-first]
+//	       [-j N] [-cache dir] [-stats]
 //	       [-c] [-asm] [-dot] [-optimize-copies] [-o dir] [file.strl]
 //
 // A source file may contain several modules: same-named signals
 // connect them into a network, each module is synthesized separately
-// and the generated RTOS is sized for the whole system. With no file,
-// the paper's Fig. 1 module is synthesized as a demo. With -o, the
+// and the generated RTOS is sized for the whole system. Modules are
+// compiled concurrently on -j workers (default: all CPUs) through the
+// internal/pipeline package; module order in the output is the source
+// order regardless of the worker count. -cache names a directory used
+// as a content-addressed artifact cache so repeated runs over
+// unchanged modules are instant; -stats prints the pipeline's
+// per-stage timing, BDD and cache-counter report. With no file, the
+// paper's Fig. 1 module is synthesized as a demo. With -o, the
 // generated C sources (one per module, plus polis_rtos.h and the RTOS)
 // are written into the given directory.
 package main
@@ -19,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -26,6 +34,7 @@ import (
 	"polis/internal/codegen"
 	"polis/internal/esterel"
 	"polis/internal/estimate"
+	"polis/internal/pipeline"
 	"polis/internal/rtos"
 	"polis/internal/sgraph"
 	"polis/internal/vm"
@@ -47,21 +56,34 @@ end module
 `
 
 func main() {
-	target := flag.String("target", "hc11", "cost profile: hc11 or r3k")
-	order := flag.String("order", "default", "variable ordering: default, naive, inputs-first")
-	emitC := flag.Bool("c", false, "print the generated C")
-	emitAsm := flag.Bool("asm", false, "print the object-code listing")
-	emitDot := flag.Bool("dot", false, "print the s-graph in Graphviz format")
-	optCopies := flag.Bool("optimize-copies", false, "apply the write-before-read copy analysis")
-	outDir := flag.String("o", "", "write generated C sources into this directory")
-	showParams := flag.Bool("params", false, "print the calibrated cost parameters and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver; split from main so tests can execute it
+// with captured output and compare runs across flag sets.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("polisc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", "hc11", "cost profile: hc11 or r3k")
+	order := fs.String("order", "default", "variable ordering: default, naive, inputs-first")
+	emitC := fs.Bool("c", false, "print the generated C")
+	emitAsm := fs.Bool("asm", false, "print the object-code listing")
+	emitDot := fs.Bool("dot", false, "print the s-graph in Graphviz format")
+	optCopies := fs.Bool("optimize-copies", false, "apply the write-before-read copy analysis")
+	outDir := fs.String("o", "", "write generated C sources into this directory")
+	showParams := fs.Bool("params", false, "print the calibrated cost parameters and exit")
+	jobs := fs.Int("j", 0, "synthesize up to N modules concurrently (0 = all CPUs)")
+	cacheDir := fs.String("cache", "", "artifact cache directory (empty = in-memory only)")
+	stats := fs.Bool("stats", false, "print the pipeline statistics report")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	src := demo
-	if flag.NArg() > 0 {
-		data, err := os.ReadFile(flag.Arg(0))
+	if fs.NArg() > 0 {
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		src = string(data)
 	}
@@ -73,7 +95,7 @@ func main() {
 	case "r3k":
 		opt.Target = vm.R3K()
 	default:
-		fatal(fmt.Errorf("unknown target %q", *target))
+		return fail(stderr, fmt.Errorf("unknown target %q", *target))
 	}
 	switch *order {
 	case "default":
@@ -83,64 +105,83 @@ func main() {
 	case "inputs-first":
 		opt.Ordering = sgraph.OrderSiftInputsFirst
 	default:
-		fatal(fmt.Errorf("unknown ordering %q", *order))
+		return fail(stderr, fmt.Errorf("unknown ordering %q", *order))
 	}
 	opt.Codegen.OptimizeCopies = *optCopies
 
 	if *showParams {
-		fmt.Print(estimate.Calibrate(opt.Target).Format())
-		return
+		fmt.Fprint(stdout, estimate.Calibrate(opt.Target).Format())
+		return 0
 	}
 
-	net, machines, err := esterel.CompileProgram(src)
+	net, _, err := esterel.CompileProgram(src)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
+
+	cache, err := pipeline.NewCache(*cacheDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	col := pipeline.NewCollector()
+	arts, err := polis.SynthesizeNetwork(net, opt, pipeline.Config{
+		Jobs:  *jobs,
+		Cache: cache,
+		Trace: col,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+
 	var sources []namedSource
 	var totalCode int64
-	for _, m := range net.Machines {
-		art, err := polis.Synthesize(machines[m.Name], opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(art.Report(opt.Target))
-		totalCode += int64(art.CodeSize)
-		sources = append(sources, namedSource{m.Name + ".c", art.C})
+	for _, a := range arts {
+		fmt.Fprint(stdout, a.Report(opt.Target))
+		totalCode += int64(a.CodeSize)
+		sources = append(sources, namedSource{a.Module + ".c", a.C})
 		if *emitC {
-			fmt.Println("\n----- generated C -----")
-			fmt.Print(art.C)
+			fmt.Fprintln(stdout, "\n----- generated C -----")
+			fmt.Fprint(stdout, a.C)
 		}
 		if *emitAsm {
-			fmt.Println("\n----- object code -----")
-			fmt.Print(art.Listing)
+			fmt.Fprintln(stdout, "\n----- object code -----")
+			fmt.Fprint(stdout, a.Listing)
 		}
 		if *emitDot {
-			fmt.Println("\n----- s-graph -----")
-			fmt.Print(art.SGraph.Dot())
+			fmt.Fprintln(stdout, "\n----- s-graph -----")
+			if a.SGraph != nil {
+				fmt.Fprint(stdout, a.SGraph.Dot())
+			} else {
+				fmt.Fprintln(stdout, "(s-graph not available: artifact restored from the on-disk cache)")
+			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	rtosSrc, size, err := polis.GenerateRTOS(net, rtos.DefaultConfig(), opt.Target)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Printf("system: %d module(s), %d bytes of task code, RTOS %d bytes ROM / %d bytes RAM\n",
+	fmt.Fprintf(stdout, "system: %d module(s), %d bytes of task code, RTOS %d bytes ROM / %d bytes RAM\n",
 		len(net.Machines), totalCode, size.CodeBytes, size.DataBytes)
 	sources = append(sources,
 		namedSource{"polis_rtos.h", codegen.RTOSHeader()},
 		namedSource{"rtos.c", rtosSrc})
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		for _, sf := range sources {
 			path := filepath.Join(*outDir, sf.name)
 			if err := os.WriteFile(path, []byte(sf.text), 0o644); err != nil {
-				fatal(err)
+				return fail(stderr, err)
 			}
-			fmt.Println("wrote", path)
+			fmt.Fprintln(stdout, "wrote", path)
 		}
 	}
+	if *stats {
+		fmt.Fprint(stdout, col.Report())
+	}
+	return 0
 }
 
 type namedSource struct {
@@ -148,7 +189,7 @@ type namedSource struct {
 	text string
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "polisc:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "polisc:", err)
+	return 1
 }

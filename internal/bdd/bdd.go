@@ -11,6 +11,20 @@
 // and only if the functions they denote are equal (under the current
 // variable order). In-place adjacent-level swaps preserve the function
 // denoted by every handle, so handles remain valid across reordering.
+//
+// # Concurrency
+//
+// A Manager is NOT safe for concurrent use, and deliberately so: the
+// unique tables, operation cache and in-place sifting all mutate
+// shared arena state, and guarding them with locks would put a mutex
+// on the hottest path of the whole synthesis flow. A Manager is owned
+// by a single goroutine — by convention the one that created it — and
+// every operation must be invoked from that goroutine. Concurrent
+// synthesis (see internal/pipeline) gives each worker its own Manager
+// instead of sharing one. Build with `-tags bdddebug` to enforce the
+// invariant at run time: every mutating entry point then panics when
+// called from a goroutine other than the owner (see owner_debug.go);
+// a deliberate handoff can re-bind ownership with TransferOwnership.
 package bdd
 
 import (
@@ -59,11 +73,18 @@ type Manager struct {
 	ite   map[iteKey]Node
 	roots map[Node]int // protected external references
 
+	owner int64 // owning goroutine id; only set under the bdddebug tag
+
 	// Stats
 	GCs    int
 	Swaps  int
 	Hits   int
 	Misses int
+	// PeakNodes is the high-water mark of live arena nodes, the
+	// paper's "peak BDD size" figure of merit for an ordering.
+	PeakNodes int
+	// SiftPasses counts completed sifting passes.
+	SiftPasses int
 }
 
 type iteKey struct{ f, g, h Node }
@@ -74,9 +95,32 @@ func New() *Manager {
 		ite:   make(map[iteKey]Node),
 		roots: make(map[Node]int),
 	}
+	if ownerChecks {
+		m.owner = goid()
+	}
 	// Terminals occupy slots 0 and 1.
 	m.nodes = append(m.nodes, node{v: -1}, node{v: -1})
 	return m
+}
+
+// checkOwner panics when the calling goroutine is not the Manager's
+// owner. It compiles to nothing unless the bdddebug build tag is set.
+func (m *Manager) checkOwner() {
+	if ownerChecks {
+		if g := goid(); g != m.owner {
+			panic(fmt.Sprintf("bdd: Manager owned by goroutine %d used from goroutine %d; a Manager is single-goroutine (see package doc)", m.owner, g))
+		}
+	}
+}
+
+// TransferOwnership re-binds the Manager to the calling goroutine.
+// Use it for a deliberate handoff (create on one goroutine, hand the
+// whole manager to another); it is a no-op unless built with the
+// bdddebug tag.
+func (m *Manager) TransferOwnership() {
+	if ownerChecks {
+		m.owner = goid()
+	}
 }
 
 // NumVars returns the number of variables created so far.
@@ -89,6 +133,7 @@ func (m *Manager) NumNodes() int { return len(m.nodes) - len(m.free) }
 // NewVar creates a fresh variable placed at the bottom of the current
 // order. The name is only used for diagnostics.
 func (m *Manager) NewVar(name string) Var {
+	m.checkOwner()
 	v := Var(len(m.perm))
 	m.perm = append(m.perm, len(m.perm))
 	m.invperm = append(m.invperm, v)
@@ -158,6 +203,9 @@ func (m *Manager) mk(v Var, lo, hi Node) Node {
 		n = Node(len(m.nodes))
 		m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
 	}
+	if live := len(m.nodes) - len(m.free); live > m.PeakNodes {
+		m.PeakNodes = live
+	}
 	tbl[k] = n
 	return n
 }
@@ -187,6 +235,7 @@ func (m *Manager) Unprotect(n Node) {
 // GC reclaims nodes not reachable from protected roots. The operation
 // cache is flushed. Handles of collected nodes become invalid.
 func (m *Manager) GC() {
+	m.checkOwner()
 	m.GCs++
 	for r := range m.roots {
 		m.markRec(r)

@@ -3,6 +3,7 @@ package bdd
 // Ite computes if-then-else: f ? g : h. It is the universal binary
 // operation from which all two-argument Boolean connectives derive.
 func (m *Manager) Ite(f, g, h Node) Node {
+	m.checkOwner()
 	// Terminal cases.
 	switch {
 	case f == True:
@@ -86,6 +87,7 @@ func (m *Manager) Implies(f, g Node) Node { return m.Ite(f, g, True) }
 // Cofactor returns the restriction of f with v replaced by the given
 // constant value (Shannon cofactor).
 func (m *Manager) Cofactor(f Node, v Var, val bool) Node {
+	m.checkOwner()
 	cache := make(map[Node]Node)
 	lvl := m.perm[v]
 	var rec func(n Node) Node
@@ -125,6 +127,7 @@ func (m *Manager) Restrict(f Node, vars []Var, vals []bool) Node {
 // Exists existentially quantifies (smooths) the given variables out of
 // f: the result is true wherever some assignment to vars makes f true.
 func (m *Manager) Exists(f Node, vars ...Var) Node {
+	m.checkOwner()
 	if len(vars) == 0 {
 		return f
 	}
@@ -274,6 +277,7 @@ func (m *Manager) ForEachCube(f Node, fn func(vars []Var, vals []bool) bool) {
 // Cube builds the conjunction of literals given by parallel slices of
 // variables and phase values.
 func (m *Manager) Cube(vars []Var, vals []bool) Node {
+	m.checkOwner()
 	r := True
 	// Build bottom-up in order of decreasing level for linear cost.
 	idx := make([]int, len(vars))

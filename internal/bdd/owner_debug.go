@@ -1,0 +1,30 @@
+//go:build bdddebug
+
+package bdd
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// ownerChecks enables the single-goroutine ownership assertion: every
+// mutating Manager entry point panics when invoked from a goroutine
+// other than the owner. The check is deliberately coarse (entry points
+// only, not the hot mk path) so `go test -tags bdddebug` stays usable.
+const ownerChecks = true
+
+// goid returns the current goroutine's id by parsing the first line of
+// its stack trace ("goroutine N [running]: ..."). There is no cheaper
+// portable way to obtain it; that is fine for a debug-only assertion.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := strings.TrimPrefix(string(buf[:n]), "goroutine ")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		if id, err := strconv.ParseInt(s[:i], 10, 64); err == nil {
+			return id
+		}
+	}
+	return -1
+}

@@ -1,0 +1,54 @@
+//go:build bdddebug
+
+package bdd
+
+import "testing"
+
+// TestOwnerCheckPanics verifies that, under the bdddebug tag, using a
+// Manager from a goroutine other than its owner panics, and that
+// TransferOwnership re-binds the Manager to the new goroutine.
+func TestOwnerCheckPanics(t *testing.T) {
+	m := New()
+	a := m.VarNode(m.NewVar("a"))
+	b := m.VarNode(m.NewVar("b"))
+
+	type outcome struct {
+		panicked bool
+		msg      interface{}
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{true, r}
+				return
+			}
+			ch <- outcome{false, nil}
+		}()
+		m.And(a, b)
+	}()
+	if got := <-ch; !got.panicked {
+		t.Fatal("cross-goroutine And did not panic under bdddebug")
+	}
+
+	// After an explicit handoff the new goroutine may use the manager.
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- &ownerErr{}
+				return
+			}
+			done <- nil
+		}()
+		m.TransferOwnership()
+		m.And(a, b)
+	}()
+	if err := <-done; err != nil {
+		t.Fatal("And panicked after TransferOwnership")
+	}
+}
+
+type ownerErr struct{}
+
+func (*ownerErr) Error() string { return "owner panic" }

@@ -1,0 +1,11 @@
+//go:build !bdddebug
+
+package bdd
+
+// ownerChecks gates the single-goroutine ownership assertion. In the
+// default build it is a compile-time false, so every checkOwner call
+// is dead-code-eliminated and the hot paths carry no cost.
+const ownerChecks = false
+
+// goid is never called when ownerChecks is false.
+func goid() int64 { return 0 }

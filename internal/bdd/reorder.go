@@ -182,6 +182,7 @@ type SiftOptions struct {
 // position minimising the number of live nodes. Unreferenced nodes are
 // garbage collected first so that dead nodes do not bias the costs.
 func (m *Manager) Sift(opts SiftOptions) {
+	m.checkOwner()
 	if opts.MaxGrowth == 0 {
 		opts.MaxGrowth = 2.0
 	}
@@ -216,6 +217,7 @@ func (m *Manager) enforcePrecedence(precede func(a, b int32) bool) {
 }
 
 func (m *Manager) siftPass(opts SiftOptions) {
+	m.SiftPasses++
 	// Order blocks by descending live-node contribution.
 	contrib := make(map[int32]int)
 	roots := m.costRoots(opts)

@@ -1,0 +1,198 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"polis/internal/cfsm"
+	"polis/internal/estimate"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+// Fingerprint returns the content-addressed cache key of one module
+// under the given options: a stable hash over the CFSM's reactive
+// function (signals, state variables, tests, actions, transition
+// relation, exclusivity groups) and every option that influences the
+// generated artifacts. Two modules with the same fingerprint produce
+// byte-identical artifacts, so a fingerprint match is a cache hit.
+//
+// The target profile is identified by its Name; callers that mutate a
+// built-in profile must rename it or bypass the cache.
+func Fingerprint(m *cfsm.CFSM, opt Options) string {
+	opt.fill()
+	h := sha256.New()
+	fmt.Fprintf(h, "v1\nmodule %s\n", m.Name)
+	for _, s := range m.Inputs {
+		fmt.Fprintf(h, "in %s pure=%v\n", s.Name, s.Pure)
+	}
+	for _, s := range m.Outputs {
+		fmt.Fprintf(h, "out %s pure=%v\n", s.Name, s.Pure)
+	}
+	for _, sv := range m.States {
+		fmt.Fprintf(h, "state %s dom=%d init=%d\n", sv.Name, sv.Domain, sv.Init)
+	}
+	for _, t := range m.Tests {
+		fmt.Fprintf(h, "test %s arity=%d\n", t.Name(), t.Arity())
+	}
+	for _, a := range m.Actions {
+		fmt.Fprintf(h, "action %s\n", a.Name())
+	}
+	for _, tr := range m.Trans {
+		fmt.Fprintf(h, "trans")
+		for _, c := range tr.Guard {
+			fmt.Fprintf(h, " t%d=%d", m.TestID(c.Test), c.Val)
+		}
+		fmt.Fprintf(h, " ->")
+		for _, a := range tr.Actions {
+			fmt.Fprintf(h, " a%d", m.ActionID(a))
+		}
+		fmt.Fprintf(h, "\n")
+	}
+	for _, grp := range m.Exclusive {
+		fmt.Fprintf(h, "excl")
+		for _, t := range grp {
+			fmt.Fprintf(h, " t%d", m.TestID(t))
+		}
+		fmt.Fprintf(h, "\n")
+	}
+	fmt.Fprintf(h, "opt ord=%s target=%s copies=%v ifthr=%d falsepaths=%v\n",
+		opt.Ordering, opt.Target.Name,
+		opt.Codegen.OptimizeCopies, opt.Codegen.IfThreshold,
+		opt.UseFalsePaths)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is the content-addressed artifact cache: an always-on
+// in-memory map, optionally backed by an on-disk directory so hits
+// survive across processes. It is safe for concurrent use.
+//
+// Artifacts served from memory carry their live SGraph/Program/CFSM
+// handles; artifacts restored from disk carry only the serialisable
+// payload (C, listing, estimates, measurements, s-graph statistics)
+// and have nil live handles. A corrupted or unreadable disk entry is
+// treated as a miss — the module is simply recompiled.
+type Cache struct {
+	mu  sync.Mutex
+	mem map[string]*Artifact
+	dir string
+}
+
+// NewCache creates a cache. With dir == "" the cache is in-memory
+// only; otherwise dir is created (if needed) and used as the on-disk
+// layer, one JSON file per fingerprint.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("pipeline: cache dir: %w", err)
+		}
+	}
+	return &Cache{mem: make(map[string]*Artifact), dir: dir}, nil
+}
+
+// diskEntry is the serialised form of an Artifact. Live handles
+// (SGraph, Program, CFSM) are intentionally absent: they are cheap to
+// rebuild when needed and expensive to serialise faithfully.
+type diskEntry struct {
+	Schema     int
+	Module     string
+	NumTests   int
+	NumActions int
+	NumTrans   int
+	C          string
+	Listing    string
+	Estimate   estimate.Result
+	Measured   vm.PathCycles
+	CodeSize   int
+	Stats      sgraph.Stats
+}
+
+const diskSchema = 1
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get looks the key up, memory first, then disk. fromDisk reports
+// which layer served the hit.
+func (c *Cache) Get(key string) (a *Artifact, fromDisk, ok bool) {
+	c.mu.Lock()
+	a, ok = c.mem[key]
+	c.mu.Unlock()
+	if ok {
+		return a, false, true
+	}
+	if c.dir == "" {
+		return nil, false, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Schema != diskSchema || e.Module == "" {
+		// Corrupted or stale entry: fall back to a recompile.
+		return nil, false, false
+	}
+	a = &Artifact{
+		Module:     e.Module,
+		NumTests:   e.NumTests,
+		NumActions: e.NumActions,
+		NumTrans:   e.NumTrans,
+		C:          e.C,
+		Listing:    e.Listing,
+		Estimate:   e.Estimate,
+		Measured:   e.Measured,
+		CodeSize:   e.CodeSize,
+		Stats:      e.Stats,
+	}
+	c.mu.Lock()
+	c.mem[key] = a
+	c.mu.Unlock()
+	return a, true, true
+}
+
+// Put stores the artifact in memory and, when a directory is
+// configured, on disk. Disk writes are best-effort: an I/O failure
+// degrades the cache, it never fails the synthesis.
+func (c *Cache) Put(key string, a *Artifact) {
+	c.mu.Lock()
+	c.mem[key] = a
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	data, err := json.Marshal(diskEntry{
+		Schema:     diskSchema,
+		Module:     a.Module,
+		NumTests:   a.NumTests,
+		NumActions: a.NumActions,
+		NumTrans:   a.NumTrans,
+		C:          a.C,
+		Listing:    a.Listing,
+		Estimate:   a.Estimate,
+		Measured:   a.Measured,
+		CodeSize:   a.CodeSize,
+		Stats:      a.Stats,
+	})
+	if err != nil {
+		return
+	}
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, c.path(key)) // atomic publish; best-effort
+}
+
+// Len returns the number of in-memory entries (for tests and stats).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}

@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polis/internal/codegen"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+// TestCacheMemHit: the second run over identical modules and options
+// hits in memory for every module.
+func TestCacheMemHit(t *testing.T) {
+	net := testNetwork(t, 21, 6)
+	cache, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	cold, err := Run(net, Options{}, Config{Jobs: 2, Cache: cache, Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, misses := col.CacheCounters(); hits != 0 || misses != 6 {
+		t.Fatalf("cold run: %d hits, %d misses; want 0/6", hits, misses)
+	}
+	warm, err := Run(net, Options{}, Config{Jobs: 2, Cache: cache, Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, diskHits, misses := col.CacheCounters(); hits != 6 || diskHits != 0 || misses != 6 {
+		t.Fatalf("warm run: %d hits (%d disk), %d misses; want 6 (0)/6", hits, diskHits, misses)
+	}
+	for i := range cold {
+		if warm[i].C != cold[i].C || warm[i].CodeSize != cold[i].CodeSize {
+			t.Errorf("module %s: cached artifact differs", cold[i].Module)
+		}
+		if warm[i].SGraph == nil {
+			t.Errorf("module %s: memory hit should keep live handles", cold[i].Module)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: the key must change whenever any
+// artifact-influencing option changes, and must be stable otherwise.
+func TestFingerprintSensitivity(t *testing.T) {
+	m := goodMachine("fp")
+	base := Fingerprint(m, Options{})
+	if base != Fingerprint(m, Options{}) {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if base != Fingerprint(m, Options{Target: vm.HC11()}) {
+		t.Error("explicit default target should not change the fingerprint")
+	}
+	variants := map[string]Options{
+		"ordering":    {Ordering: sgraph.OrderNaive},
+		"target":      {Target: vm.R3K()},
+		"copies":      {Codegen: codegen.Options{OptimizeCopies: true}},
+		"ifthreshold": {Codegen: codegen.Options{IfThreshold: 4}},
+		"falsepaths":  {UseFalsePaths: true},
+	}
+	for name, opt := range variants {
+		if Fingerprint(m, opt) == base {
+			t.Errorf("changing %s does not change the fingerprint", name)
+		}
+	}
+	if Fingerprint(goodMachine("fp2"), Options{}) == base {
+		t.Error("different module name does not change the fingerprint")
+	}
+}
+
+// TestDiskCacheRoundTrip: a fresh process (fresh in-memory layer) is
+// served from disk, with the serialisable payload intact.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	net := testNetwork(t, 33, 4)
+
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(net, Options{}, Config{Jobs: 2, Cache: c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(dir) // fresh memory, same directory
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	warm, err := Run(net, Options{}, Config{Jobs: 2, Cache: c2, Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, diskHits, _ := col.CacheCounters(); hits != 4 || diskHits != 4 {
+		t.Fatalf("want 4 disk hits, got %d hits (%d disk)", hits, diskHits)
+	}
+	for i := range cold {
+		a, b := cold[i], warm[i]
+		if a.C != b.C || a.Listing != b.Listing || a.CodeSize != b.CodeSize ||
+			a.Estimate != b.Estimate || a.Measured != b.Measured || a.Stats != b.Stats ||
+			a.NumTests != b.NumTests || a.NumActions != b.NumActions || a.NumTrans != b.NumTrans {
+			t.Errorf("module %s: disk round-trip altered the artifact", a.Module)
+		}
+		if b.SGraph != nil || b.Program != nil || b.CFSM != nil {
+			t.Errorf("module %s: disk hit should have nil live handles", a.Module)
+		}
+	}
+}
+
+// TestDiskCacheCorruption: corrupted or wrong-schema entries fall back
+// to a recompile instead of failing the run.
+func TestDiskCacheCorruption(t *testing.T) {
+	dir := t.TempDir()
+	net := testNetwork(t, 55, 3)
+
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(net, Options{}, Config{Jobs: 1, Cache: c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("want 3 cache files, got %d", len(entries))
+	}
+	// Corrupt one entry with garbage, one with valid JSON of the wrong
+	// schema, and truncate the third.
+	damage := [][]byte{
+		[]byte("not json at all \x00\x01"),
+		[]byte(`{"Schema": 999, "Module": "x"}`),
+		nil,
+	}
+	for i, e := range entries {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), damage[i], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	warm, err := Run(net, Options{}, Config{Jobs: 1, Cache: c2, Trace: col})
+	if err != nil {
+		t.Fatalf("corrupted cache must recompile, not fail: %v", err)
+	}
+	if hits, _, misses := col.CacheCounters(); hits != 0 || misses != 3 {
+		t.Errorf("corrupted entries should all miss: %d hits, %d misses", hits, misses)
+	}
+	for i := range cold {
+		if warm[i].C != cold[i].C || warm[i].CodeSize != cold[i].CodeSize {
+			t.Errorf("module %s: recompiled artifact differs", cold[i].Module)
+		}
+	}
+	// The recompile repaired the damaged entries.
+	c3, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col3 := NewCollector()
+	if _, err := Run(net, Options{}, Config{Jobs: 1, Cache: c3, Trace: col3}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, diskHits, _ := col3.CacheCounters(); hits != 3 || diskHits != 3 {
+		t.Errorf("after repair want 3 disk hits, got %d (%d disk)", hits, diskHits)
+	}
+}

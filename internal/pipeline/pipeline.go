@@ -1,0 +1,285 @@
+// Package pipeline orchestrates whole-network software synthesis as a
+// staged, concurrent pipeline. The paper compiles a network of CFSMs
+// one machine at a time (Section III); the per-machine flows are
+// independent, so this package runs them on a bounded worker pool,
+// each worker owning its own single-goroutine BDD manager (see the
+// internal/bdd package doc), with
+//
+//   - deterministic output ordering: results follow the network's
+//     machine order regardless of completion order, so -j 1 and -j N
+//     produce byte-identical artifacts;
+//   - fail-fast error aggregation: the first failure stops dispatch of
+//     further modules, in-flight modules finish, and every error is
+//     reported with its module attribution;
+//   - a content-addressed artifact cache (see Cache) keyed by the
+//     module's reactive function and the synthesis options; and
+//   - an observability sink (see Trace and Collector) recording
+//     per-stage wall time, BDD peak node counts, sift passes, and
+//     cache hit/miss counters.
+//
+// The root polis package exposes this as polis.SynthesizeNetwork.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polis/internal/cfsm"
+	"polis/internal/codegen"
+	"polis/internal/estimate"
+	"polis/internal/sgraph"
+	"polis/internal/vm"
+)
+
+// Options mirrors the root package's synthesis options; the root
+// package converts between the two (it cannot be imported from here
+// without a cycle).
+type Options struct {
+	// Ordering is the s-graph variable-ordering strategy.
+	Ordering sgraph.Ordering
+	// Target selects the cost profile; nil means the HC11-class
+	// micro-controller.
+	Target *vm.Profile
+	// Codegen tunes code generation.
+	Codegen codegen.Options
+	// UseFalsePaths tightens the worst-case estimate using declared
+	// test exclusivities.
+	UseFalsePaths bool
+}
+
+func (o *Options) fill() {
+	if o.Target == nil {
+		o.Target = vm.HC11()
+	}
+}
+
+// Config tunes one pipeline run.
+type Config struct {
+	// Jobs bounds the number of concurrently synthesized modules
+	// (the -j N knob); <= 0 means GOMAXPROCS.
+	Jobs int
+	// Cache, if non-nil, is consulted before and updated after each
+	// module's synthesis.
+	Cache *Cache
+	// Trace, if non-nil, receives pipeline events; use a Collector
+	// for the default stats report.
+	Trace Trace
+}
+
+// Artifact bundles everything synthesis produces for one CFSM, in a
+// form the cache can round-trip. The live handles (CFSM, SGraph,
+// Program) are nil when the artifact was restored from the on-disk
+// cache; the serialisable payload is always present.
+type Artifact struct {
+	Module     string
+	NumTests   int
+	NumActions int
+	NumTrans   int
+
+	C        string      // generated C routine
+	Listing  string      // assembly listing
+	Estimate estimate.Result
+	Measured vm.PathCycles // exact min/max cycles from the object code
+	CodeSize int           // measured bytes
+	Stats    sgraph.Stats  // s-graph structure statistics
+
+	// Live handles; nil on a disk-cache hit.
+	CFSM    *cfsm.CFSM
+	SGraph  *sgraph.SGraph
+	Program *vm.Program
+}
+
+// Report renders the one-screen per-module summary (the same layout
+// as polis.Artifacts.Report) from the cached statistics, so it works
+// for disk-restored artifacts too. A zero measured code size reports
+// the estimation error as n/a rather than dividing by zero.
+func (a *Artifact) Report(target *vm.Profile) string {
+	errPct := "n/a"
+	if a.CodeSize != 0 {
+		errPct = fmt.Sprintf("%.1f%%",
+			100*float64(a.Estimate.CodeBytes-int64(a.CodeSize))/float64(a.CodeSize))
+	}
+	return fmt.Sprintf(
+		`CFSM %s: %d tests, %d actions, %d transitions
+s-graph: %d vertices (%d TEST, %d ASSIGN), depth %d, %d paths
+code: %d bytes measured (%d estimated, %s error)
+cycles per transition: measured [%d, %d], estimated [%d, %d]
+`,
+		a.Module, a.NumTests, a.NumActions, a.NumTrans,
+		a.Stats.Vertices, a.Stats.Tests, a.Stats.Assigns, a.Stats.Depth, a.Stats.Paths,
+		a.CodeSize, a.Estimate.CodeBytes, errPct,
+		a.Measured.Min, a.Measured.Max, a.Estimate.MinCycles, a.Estimate.MaxCycles)
+}
+
+// SynthesizeModule runs the complete per-CFSM flow of Section III —
+// reactive-function extraction, BDD sifting, s-graph construction,
+// C and object-code generation, and cost/performance estimation —
+// emitting one EvStage event per stage and one EvBDD event with the
+// module's BDD statistics. A nil Trace disables tracing. The BDD
+// manager is created and used entirely within this call, so
+// concurrent calls never share one.
+func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
+	opt.fill()
+	if tr == nil {
+		tr = nopTrace{}
+	}
+
+	t := time.Now()
+	r, err := cfsm.BuildReactive(m)
+	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageReactive, Duration: time.Since(t)})
+	if err != nil {
+		return nil, err
+	}
+
+	t = time.Now()
+	err = sgraph.ApplyOrdering(r, opt.Ordering)
+	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageSift, Duration: time.Since(t)})
+	if err != nil {
+		return nil, err
+	}
+
+	t = time.Now()
+	g, err := sgraph.FromChi(r)
+	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageSGraph, Duration: time.Since(t)})
+	if err != nil {
+		return nil, err
+	}
+	mgr := r.Space.M
+	tr.Event(Event{Kind: EvBDD, Module: m.Name,
+		PeakNodes: mgr.PeakNodes, SiftSwaps: mgr.Swaps, SiftPasses: mgr.SiftPasses})
+
+	t = time.Now()
+	prog, err := codegen.Assemble(g, codegen.NewSignalMap(m), opt.Codegen)
+	if err != nil {
+		tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageCodegen, Duration: time.Since(t)})
+		return nil, err
+	}
+	cSrc := codegen.EmitC(g, opt.Codegen)
+	meas, err := vm.AnalyzeCycles(opt.Target, prog, codegen.EntryLabel(m))
+	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageCodegen, Duration: time.Since(t)})
+	if err != nil {
+		return nil, err
+	}
+
+	t = time.Now()
+	params := estimate.Calibrate(opt.Target)
+	est := estimate.EstimateSGraph(g, params, estimate.Options{
+		Codegen:       opt.Codegen,
+		UseFalsePaths: opt.UseFalsePaths,
+	})
+	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageEstimate, Duration: time.Since(t)})
+
+	return &Artifact{
+		Module:     m.Name,
+		NumTests:   len(m.Tests),
+		NumActions: len(m.Actions),
+		NumTrans:   len(m.Trans),
+		C:          cSrc,
+		Listing:    prog.Listing(),
+		Estimate:   est,
+		Measured:   meas,
+		CodeSize:   opt.Target.CodeSize(prog),
+		Stats:      g.ComputeStats(),
+		CFSM:       m,
+		SGraph:     g,
+		Program:    prog,
+	}, nil
+}
+
+// Run synthesizes every machine of the network through the concurrent
+// pipeline and returns the artifacts in the network's machine order.
+func Run(n *cfsm.Network, opt Options, cfg Config) ([]*Artifact, error) {
+	return RunModules(n.Machines, opt, cfg)
+}
+
+// RunModules is Run over an explicit machine list. Results are
+// returned in input order regardless of completion order. On failure
+// it returns an aggregate error naming every failed module; after the
+// first failure no new modules are started (fail-fast), but modules
+// already in flight run to completion so their errors are attributed
+// too.
+func RunModules(machines []*cfsm.CFSM, opt Options, cfg Config) ([]*Artifact, error) {
+	opt.fill()
+	tr := cfg.Trace
+	if tr == nil {
+		tr = nopTrace{}
+	}
+	workers := cfg.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(machines) {
+		workers = len(machines)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tr.Event(Event{Kind: EvRunStart, Modules: len(machines), Workers: workers})
+	start := time.Now()
+
+	results := make([]*Artifact, len(machines))
+	moduleErrs := make([]error, len(machines))
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue // fail-fast: drain without synthesizing
+				}
+				a, err := synthesizeCached(machines[i], opt, cfg.Cache, tr)
+				if err != nil {
+					moduleErrs[i] = fmt.Errorf("module %s: %w", machines[i].Name, err)
+					tr.Event(Event{Kind: EvModuleError, Module: machines[i].Name, Err: err})
+					failed.Store(true)
+					continue
+				}
+				results[i] = a
+			}
+		}()
+	}
+	for i := range machines {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	tr.Event(Event{Kind: EvRunEnd, Duration: time.Since(start)})
+
+	if failed.Load() {
+		var agg []error
+		for _, e := range moduleErrs {
+			if e != nil {
+				agg = append(agg, e)
+			}
+		}
+		return nil, fmt.Errorf("pipeline: %d of %d module(s) failed: %w",
+			len(agg), len(machines), errors.Join(agg...))
+	}
+	return results, nil
+}
+
+// synthesizeCached wraps SynthesizeModule with the cache lookup.
+func synthesizeCached(m *cfsm.CFSM, opt Options, cache *Cache, tr Trace) (*Artifact, error) {
+	if cache == nil {
+		return SynthesizeModule(m, opt, tr)
+	}
+	key := Fingerprint(m, opt)
+	if a, fromDisk, ok := cache.Get(key); ok {
+		tr.Event(Event{Kind: EvCacheHit, Module: m.Name, FromDisk: fromDisk})
+		return a, nil
+	}
+	tr.Event(Event{Kind: EvCacheMiss, Module: m.Name})
+	a, err := SynthesizeModule(m, opt, tr)
+	if err != nil {
+		return nil, err
+	}
+	cache.Put(key, a)
+	return a, nil
+}

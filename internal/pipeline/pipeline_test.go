@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"polis/internal/cfsm"
+	"polis/internal/randcfsm"
+)
+
+// testNetwork generates a deterministic random network of n machines.
+func testNetwork(t testing.TB, seed int64, n int) *cfsm.Network {
+	t.Helper()
+	net, _, err := randcfsm.NewNetwork(rand.New(rand.NewSource(seed)), n, randcfsm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestRunDeterministic requires byte-identical artifacts in identical
+// order for any worker count.
+func TestRunDeterministic(t *testing.T) {
+	net := testNetwork(t, 7, 9)
+	serial, err := Run(net, Options{}, Config{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 8} {
+		parallel, err := Run(net, Options{}, Config{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("j=%d: %d artifacts, want %d", jobs, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if parallel[i].Module != serial[i].Module {
+				t.Errorf("j=%d: artifact %d is %s, want %s", jobs, i, parallel[i].Module, serial[i].Module)
+			}
+			if parallel[i].C != serial[i].C {
+				t.Errorf("j=%d: module %s: C differs from serial run", jobs, serial[i].Module)
+			}
+			if parallel[i].Listing != serial[i].Listing {
+				t.Errorf("j=%d: module %s: listing differs from serial run", jobs, serial[i].Module)
+			}
+			if parallel[i].CodeSize != serial[i].CodeSize {
+				t.Errorf("j=%d: module %s: code size %d, want %d", jobs, serial[i].Module,
+					parallel[i].CodeSize, serial[i].CodeSize)
+			}
+		}
+	}
+}
+
+// TestRunMatchesSingleModule checks the pipeline produces exactly what
+// the staged single-module entry point produces.
+func TestRunMatchesSingleModule(t *testing.T) {
+	net := testNetwork(t, 11, 4)
+	arts, err := Run(net, Options{}, Config{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range net.Machines {
+		one, err := SynthesizeModule(m, Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arts[i].C != one.C || arts[i].CodeSize != one.CodeSize {
+			t.Errorf("module %s: pipeline artifact differs from SynthesizeModule", m.Name)
+		}
+	}
+}
+
+// badMachine builds a CFSM that fails validation (its transition
+// guards a test interned in a different machine).
+func badMachine(name string) *cfsm.CFSM {
+	other := cfsm.New("donor")
+	sig := other.AddInput("x", true)
+	foreign := other.Present(sig)
+	bad := cfsm.New(name)
+	in := bad.AddInput("y", true)
+	out := bad.AddOutput("z", true)
+	bad.AddTransition([]cfsm.Cond{cfsm.On(foreign, 1)}, bad.Emit(out))
+	_ = in
+	return bad
+}
+
+// goodMachine builds a minimal valid CFSM.
+func goodMachine(name string) *cfsm.CFSM {
+	c := cfsm.New(name)
+	in := c.AddInput("a", true)
+	out := c.AddOutput("b", true)
+	c.AddTransition([]cfsm.Cond{cfsm.On(c.Present(in), 1)}, c.Emit(out))
+	return c
+}
+
+// TestErrorAttribution checks that a failing module is reported by
+// name and fails the whole run.
+func TestErrorAttribution(t *testing.T) {
+	machines := []*cfsm.CFSM{goodMachine("ok1"), badMachine("broken"), goodMachine("ok2")}
+	col := NewCollector()
+	arts, err := RunModules(machines, Options{}, Config{Jobs: 2, Trace: col})
+	if err == nil {
+		t.Fatal("expected error from broken module")
+	}
+	if arts != nil {
+		t.Errorf("artifacts should be nil on failure, got %d", len(arts))
+	}
+	if !strings.Contains(err.Error(), "module broken:") {
+		t.Errorf("error lacks module attribution: %v", err)
+	}
+	if !strings.Contains(col.Report(), "broken:") {
+		t.Errorf("collector report lacks the failed module:\n%s", col.Report())
+	}
+}
+
+// TestFailFast checks that once a failure is observed no further
+// modules start: with 1 worker and the failing module first, the
+// remaining modules must not be synthesized.
+func TestFailFast(t *testing.T) {
+	machines := []*cfsm.CFSM{badMachine("broken")}
+	for i := 0; i < 10; i++ {
+		machines = append(machines, goodMachine("ok"+string(rune('a'+i))))
+	}
+	col := NewCollector()
+	_, err := RunModules(machines, Options{}, Config{Jobs: 1, Trace: col})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Only the broken module ran its reactive stage (and failed there);
+	// the trailing ten modules were skipped by fail-fast.
+	if got := col.StageTotal(StageCodegen); got != 0 {
+		t.Errorf("codegen stage ran for %v despite fail-fast", got)
+	}
+}
+
+// TestCollectorReport sanity-checks the one-screen report contents.
+func TestCollectorReport(t *testing.T) {
+	net := testNetwork(t, 3, 5)
+	col := NewCollector()
+	if _, err := Run(net, Options{}, Config{Jobs: 2, Trace: col}); err != nil {
+		t.Fatal(err)
+	}
+	rep := col.Report()
+	for _, want := range []string{
+		"pipeline: 5 module(s), 2 worker(s)",
+		"reactive", "sift", "s-graph", "codegen", "estimate",
+		"bdd: peak", "sift swaps",
+		"cache: 0 hit(s) (0 from disk), 0 miss(es)",
+		"errors: none",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	for s := StageReactive; s <= StageEstimate; s++ {
+		if col.StageTotal(s) <= 0 {
+			t.Errorf("stage %s recorded no time", s)
+		}
+	}
+}
+
+// TestArtifactReportZeroCodeSize guards the division in Report.
+func TestArtifactReportZeroCodeSize(t *testing.T) {
+	a, err := SynthesizeModule(goodMachine("tiny"), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.CodeSize = 0
+	rep := a.Report(nil)
+	if !strings.Contains(rep, "n/a error") {
+		t.Errorf("zero code size should report n/a, got:\n%s", rep)
+	}
+	if strings.Contains(rep, "Inf") || strings.Contains(rep, "NaN") {
+		t.Errorf("report leaks a division by zero:\n%s", rep)
+	}
+}

@@ -1,0 +1,243 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage identifies one phase of the per-CFSM synthesis flow, in
+// execution order. Stage wall times are reported through Trace events
+// and aggregated by the Collector.
+type Stage int
+
+// Synthesis stages (Section III of the paper, one per major step).
+const (
+	// StageReactive extracts the reactive function and builds the
+	// characteristic-function BDD (Section III-B1).
+	StageReactive Stage = iota
+	// StageSift runs dynamic variable reordering (Section III-B3).
+	StageSift
+	// StageSGraph constructs the s-graph from the ordered BDD
+	// (procedure build, Theorem 1).
+	StageSGraph
+	// StageCodegen emits C, assembles object code and measures exact
+	// cycle bounds on the virtual target.
+	StageCodegen
+	// StageEstimate runs the s-graph cost/performance estimator
+	// (Section III-C).
+	StageEstimate
+
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageReactive:
+		return "reactive"
+	case StageSift:
+		return "sift"
+	case StageSGraph:
+		return "s-graph"
+	case StageCodegen:
+		return "codegen"
+	case StageEstimate:
+		return "estimate"
+	default:
+		return fmt.Sprintf("stage%d", int(s))
+	}
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvRunStart opens a network run; Modules and Workers are set.
+	EvRunStart EventKind = iota
+	// EvRunEnd closes a network run; Duration is the wall time.
+	EvRunEnd
+	// EvStage reports one finished stage of one module.
+	EvStage
+	// EvBDD reports the module's BDD statistics after s-graph
+	// construction: peak live nodes, sift swaps and sift passes.
+	EvBDD
+	// EvCacheHit and EvCacheMiss report artifact-cache lookups.
+	EvCacheHit
+	EvCacheMiss
+	// EvModuleError reports a failed module with its error.
+	EvModuleError
+)
+
+// Event is one observation emitted by the pipeline. Only the fields
+// relevant to the Kind are set.
+type Event struct {
+	Kind   EventKind
+	Module string
+
+	Stage    Stage
+	Duration time.Duration
+
+	Modules int // EvRunStart: modules in the run
+	Workers int // EvRunStart: worker goroutines
+
+	PeakNodes  int // EvBDD
+	SiftSwaps  int // EvBDD
+	SiftPasses int // EvBDD
+
+	FromDisk bool // EvCacheHit: served from the on-disk layer
+
+	Err error // EvModuleError
+}
+
+// Trace receives pipeline events. Implementations must be safe for
+// concurrent use: worker goroutines emit events in parallel.
+type Trace interface {
+	Event(Event)
+}
+
+type nopTrace struct{}
+
+func (nopTrace) Event(Event) {}
+
+// Collector is the default Trace: it aggregates stage wall times, BDD
+// statistics and cache counters under a mutex and renders them as a
+// one-screen report.
+type Collector struct {
+	mu sync.Mutex
+
+	modules int
+	workers int
+	runs    int
+	wall    time.Duration
+
+	stageTotal [numStages]time.Duration
+	stageMax   [numStages]time.Duration
+	stageCount [numStages]int
+
+	peakNodes  int    // max over modules
+	peakModule string // module attaining peakNodes
+	siftSwaps  int
+	siftPasses int
+
+	hits, diskHits, misses int
+
+	errs []string
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Event implements Trace.
+func (c *Collector) Event(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.Kind {
+	case EvRunStart:
+		c.runs++
+		c.modules += e.Modules
+		c.workers = e.Workers
+	case EvRunEnd:
+		c.wall += e.Duration
+	case EvStage:
+		if e.Stage >= 0 && e.Stage < numStages {
+			c.stageTotal[e.Stage] += e.Duration
+			c.stageCount[e.Stage]++
+			if e.Duration > c.stageMax[e.Stage] {
+				c.stageMax[e.Stage] = e.Duration
+			}
+		}
+	case EvBDD:
+		if e.PeakNodes > c.peakNodes {
+			c.peakNodes = e.PeakNodes
+			c.peakModule = e.Module
+		}
+		c.siftSwaps += e.SiftSwaps
+		c.siftPasses += e.SiftPasses
+	case EvCacheHit:
+		c.hits++
+		if e.FromDisk {
+			c.diskHits++
+		}
+	case EvCacheMiss:
+		c.misses++
+	case EvModuleError:
+		c.errs = append(c.errs, fmt.Sprintf("%s: %v", e.Module, e.Err))
+	}
+}
+
+// CacheCounters returns the numbers of cache hits (total and from the
+// on-disk layer) and misses observed so far.
+func (c *Collector) CacheCounters() (hits, diskHits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.diskHits, c.misses
+}
+
+// StageTotal returns the accumulated wall time of one stage.
+func (c *Collector) StageTotal(s Stage) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s < 0 || s >= numStages {
+		return 0
+	}
+	return c.stageTotal[s]
+}
+
+// Report renders the one-screen statistics summary.
+func (c *Collector) Report() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	var serial time.Duration
+	for s := Stage(0); s < numStages; s++ {
+		serial += c.stageTotal[s]
+	}
+	fmt.Fprintf(&b, "pipeline: %d module(s), %d worker(s), wall %s",
+		c.modules, c.workers, round(c.wall))
+	if c.wall > 0 && serial > 0 {
+		fmt.Fprintf(&b, ", stage-sum %s (%.1fx)", round(serial),
+			float64(serial)/float64(c.wall))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  %-9s %10s %10s %10s %6s\n", "stage", "total", "max", "mean", "runs")
+	for s := Stage(0); s < numStages; s++ {
+		mean := time.Duration(0)
+		if c.stageCount[s] > 0 {
+			mean = c.stageTotal[s] / time.Duration(c.stageCount[s])
+		}
+		fmt.Fprintf(&b, "  %-9s %10s %10s %10s %6d\n",
+			s, round(c.stageTotal[s]), round(c.stageMax[s]), round(mean), c.stageCount[s])
+	}
+	if c.peakNodes > 0 {
+		fmt.Fprintf(&b, "  bdd: peak %d live nodes (%s), %d sift swaps, %d passes\n",
+			c.peakNodes, c.peakModule, c.siftSwaps, c.siftPasses)
+	}
+	fmt.Fprintf(&b, "  cache: %d hit(s) (%d from disk), %d miss(es)\n",
+		c.hits, c.diskHits, c.misses)
+	if len(c.errs) == 0 {
+		b.WriteString("  errors: none\n")
+	} else {
+		sorted := append([]string(nil), c.errs...)
+		sort.Strings(sorted)
+		fmt.Fprintf(&b, "  errors: %d\n", len(sorted))
+		for _, e := range sorted {
+			fmt.Fprintf(&b, "    %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+// round trims durations to a readable precision.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

@@ -51,25 +51,73 @@ type Machine struct {
 // disjoint by construction.
 func New(r *rand.Rand, cfg Config) *Machine {
 	c := cfsm.New(fmt.Sprintf("rand%d", r.Intn(1<<30)))
+	return generate(r, cfg, c, "", c.AddInput, c.AddOutput)
+}
+
+// NewInNetwork generates a random machine with the given name whose
+// signals are created at network level and attached to the machine, so
+// the machine is registered in net and the network validates. Signal
+// and state-variable names are prefixed with the machine name to keep
+// them network-unique. The machines of one network are independent
+// (no shared signals): the generator's purpose is whole-network
+// synthesis benchmarking, where the per-machine flows never interact.
+func NewInNetwork(r *rand.Rand, net *cfsm.Network, name string, cfg Config) (*Machine, error) {
+	c := cfsm.New(name)
+	addIn := func(n string, pure bool) *cfsm.Signal {
+		return c.AttachInput(net.NewSignal(name+"_"+n, pure))
+	}
+	addOut := func(n string, pure bool) *cfsm.Signal {
+		return c.AttachOutput(net.NewSignal(name+"_"+n, pure))
+	}
+	m := generate(r, cfg, c, name+"_", addIn, addOut)
+	if err := net.Add(c); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewNetwork generates a network of n independent random machines
+// (named m00, m01, ...) for parallel-synthesis benchmarks.
+func NewNetwork(r *rand.Rand, n int, cfg Config) (*cfsm.Network, []*Machine, error) {
+	net := cfsm.NewNetwork(fmt.Sprintf("randnet%d", n))
+	machines := make([]*Machine, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := NewInNetwork(r, net, fmt.Sprintf("m%02d", i), cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		machines = append(machines, m)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return net, machines, nil
+}
+
+// generate is the shared machine-construction body; addIn/addOut
+// abstract whether signals are machine-local or network-level, and
+// prefix keeps state-variable names unique within a network.
+func generate(r *rand.Rand, cfg Config, c *cfsm.CFSM, prefix string,
+	addIn, addOut func(name string, pure bool) *cfsm.Signal) *Machine {
 	m := &Machine{C: c, Rng: r, Range: cfg.ValueRange}
 
 	nin := 1 + r.Intn(cfg.MaxInputs)
 	for i := 0; i < nin; i++ {
 		pure := r.Intn(2) == 0
-		m.Inputs = append(m.Inputs, c.AddInput(fmt.Sprintf("i%d", i), pure))
+		m.Inputs = append(m.Inputs, addIn(fmt.Sprintf("i%d", i), pure))
 	}
 	nout := 1 + r.Intn(cfg.MaxOutputs)
 	for i := 0; i < nout; i++ {
 		pure := r.Intn(2) == 0
-		m.Outputs = append(m.Outputs, c.AddOutput(fmt.Sprintf("o%d", i), pure))
+		m.Outputs = append(m.Outputs, addOut(fmt.Sprintf("o%d", i), pure))
 	}
 	var ctrl []*cfsm.StateVar
 	for i := 0; i < r.Intn(cfg.MaxControlVars+1); i++ {
-		ctrl = append(ctrl, c.AddState(fmt.Sprintf("q%d", i), 2+r.Intn(3), int64(r.Intn(2))))
+		ctrl = append(ctrl, c.AddState(fmt.Sprintf("%sq%d", prefix, i), 2+r.Intn(3), int64(r.Intn(2))))
 	}
 	var data []*cfsm.StateVar
 	for i := 0; i < r.Intn(cfg.MaxDataVars+1); i++ {
-		data = append(data, c.AddState(fmt.Sprintf("d%d", i), 0, int64(r.Intn(int(cfg.ValueRange)))))
+		data = append(data, c.AddState(fmt.Sprintf("%sd%d", prefix, i), 0, int64(r.Intn(int(cfg.ValueRange)))))
 	}
 
 	// The test pool.

@@ -46,6 +46,18 @@ func (o Ordering) String() string {
 // computes the CFSM transition function (Theorem 1): each input test
 // appears at most once per path and ASSIGN vertices carry only actions.
 func Build(r *cfsm.Reactive, ord Ordering) (*SGraph, error) {
+	if err := ApplyOrdering(r, ord); err != nil {
+		return nil, err
+	}
+	return FromChi(r)
+}
+
+// ApplyOrdering runs the sifting step of procedure build alone: it
+// reorders the characteristic-function BDD according to the requested
+// strategy, leaving the s-graph construction to FromChi. Splitting the
+// two lets callers (the synthesis pipeline) attribute wall time to the
+// reordering and construction stages separately.
+func ApplyOrdering(r *cfsm.Reactive, ord Ordering) error {
 	switch ord {
 	case OrderNaive:
 		// Declaration order already places every output after all
@@ -55,9 +67,9 @@ func Build(r *cfsm.Reactive, ord Ordering) (*SGraph, error) {
 	case OrderSiftAfterSupport:
 		r.SiftOutputsAfterSupport()
 	default:
-		return nil, fmt.Errorf("sgraph: unknown ordering %d", ord)
+		return fmt.Errorf("sgraph: unknown ordering %d", ord)
 	}
-	return FromChi(r)
+	return nil
 }
 
 // FromChi constructs the s-graph from the characteristic function

@@ -14,6 +14,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"polis/internal/expr"
 )
@@ -193,6 +194,9 @@ func (p *Program) Listing() string {
 	byIndex := make(map[int][]string)
 	for l, i := range p.Labels {
 		byIndex[i] = append(byIndex[i], l)
+	}
+	for _, ls := range byIndex {
+		sort.Strings(ls)
 	}
 	var b []byte
 	appendf := func(format string, args ...interface{}) {

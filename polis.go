@@ -27,6 +27,7 @@ import (
 	"polis/internal/codegen"
 	"polis/internal/esterel"
 	"polis/internal/estimate"
+	"polis/internal/pipeline"
 	"polis/internal/rtos"
 	"polis/internal/sgraph"
 	"polis/internal/vm"
@@ -55,6 +56,17 @@ func (o *Options) fill() {
 	}
 }
 
+// pipelineOptions converts Options to the internal pipeline's mirror
+// of the same structure.
+func (o Options) pipelineOptions() pipeline.Options {
+	return pipeline.Options{
+		Ordering:      o.Ordering,
+		Target:        o.Target,
+		Codegen:       o.Codegen,
+		UseFalsePaths: o.UseFalsePaths,
+	}
+}
+
 // Artifacts bundles everything synthesis produces for one CFSM.
 type Artifacts struct {
 	CFSM     *cfsm.CFSM
@@ -69,40 +81,37 @@ type Artifacts struct {
 
 // Synthesize runs the complete per-CFSM flow of Section III: reactive
 // function extraction, BDD sifting, s-graph construction (Theorem 1),
-// C and object-code generation, and cost/performance estimation.
+// C and object-code generation, and cost/performance estimation. It is
+// the single-module, untraced form of SynthesizeNetwork; both share
+// the staged implementation in internal/pipeline.
 func Synthesize(m *cfsm.CFSM, opt Options) (*Artifacts, error) {
 	opt.fill()
-	r, err := cfsm.BuildReactive(m)
-	if err != nil {
-		return nil, err
-	}
-	g, err := sgraph.Build(r, opt.Ordering)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := codegen.Assemble(g, codegen.NewSignalMap(m), opt.Codegen)
-	if err != nil {
-		return nil, err
-	}
-	params := estimate.Calibrate(opt.Target)
-	est := estimate.EstimateSGraph(g, params, estimate.Options{
-		Codegen:       opt.Codegen,
-		UseFalsePaths: opt.UseFalsePaths,
-	})
-	meas, err := vm.AnalyzeCycles(opt.Target, prog, codegen.EntryLabel(m))
+	a, err := pipeline.SynthesizeModule(m, opt.pipelineOptions(), nil)
 	if err != nil {
 		return nil, err
 	}
 	return &Artifacts{
 		CFSM:     m,
-		SGraph:   g,
-		C:        codegen.EmitC(g, opt.Codegen),
-		Program:  prog,
-		Listing:  prog.Listing(),
-		Estimate: est,
-		Measured: meas,
-		CodeSize: opt.Target.CodeSize(prog),
+		SGraph:   a.SGraph,
+		C:        a.C,
+		Program:  a.Program,
+		Listing:  a.Listing,
+		Estimate: a.Estimate,
+		Measured: a.Measured,
+		CodeSize: a.CodeSize,
 	}, nil
+}
+
+// SynthesizeNetwork synthesizes every machine of the network through
+// the staged, concurrent pipeline of internal/pipeline: modules are
+// compiled in parallel on cfg.Jobs workers (each with its own BDD
+// manager), consulting cfg.Cache for unchanged modules and reporting
+// per-stage timings and cache counters to cfg.Trace. Artifacts are
+// returned in the network's machine order regardless of completion
+// order, so results are deterministic for any worker count.
+func SynthesizeNetwork(n *cfsm.Network, opt Options, cfg pipeline.Config) ([]*pipeline.Artifact, error) {
+	opt.fill()
+	return pipeline.Run(n, opt.pipelineOptions(), cfg)
 }
 
 // SynthesizeSource parses an Esterel-subset module (see
@@ -136,21 +145,27 @@ func GenerateRTOS(n *cfsm.Network, cfg rtos.Config, target *vm.Profile) (string,
 	return src, rtos.SizeEstimate(target, n, cfg), nil
 }
 
-// Report renders a one-screen summary of synthesis artifacts.
+// Report renders a one-screen summary of synthesis artifacts. A zero
+// measured code size reports the estimation error as n/a rather than
+// dividing by zero.
 func (a *Artifacts) Report(target *vm.Profile) string {
 	if target == nil {
 		target = vm.HC11()
 	}
 	st := a.SGraph.ComputeStats()
+	errPct := "n/a"
+	if a.CodeSize != 0 {
+		errPct = fmt.Sprintf("%.1f%%",
+			100*float64(a.Estimate.CodeBytes-int64(a.CodeSize))/float64(a.CodeSize))
+	}
 	return fmt.Sprintf(
 		`CFSM %s: %d tests, %d actions, %d transitions
 s-graph: %d vertices (%d TEST, %d ASSIGN), depth %d, %d paths
-code: %d bytes measured (%d estimated, %.1f%% error)
+code: %d bytes measured (%d estimated, %s error)
 cycles per transition: measured [%d, %d], estimated [%d, %d]
 `,
 		a.CFSM.Name, len(a.CFSM.Tests), len(a.CFSM.Actions), len(a.CFSM.Trans),
 		st.Vertices, st.Tests, st.Assigns, st.Depth, st.Paths,
-		a.CodeSize, a.Estimate.CodeBytes,
-		100*float64(a.Estimate.CodeBytes-int64(a.CodeSize))/float64(a.CodeSize),
+		a.CodeSize, a.Estimate.CodeBytes, errPct,
 		a.Measured.Min, a.Measured.Max, a.Estimate.MinCycles, a.Estimate.MaxCycles)
 }
