@@ -1,0 +1,52 @@
+#!/bin/sh
+# Benchmark harness for the BDD kernel and the synthesis pipeline.
+#
+#   ./bench.sh          smoke mode: run the key benchmarks once
+#                       (-benchtime=1x) so CI catches bit-rot cheaply
+#   ./bench.sh -full    measured mode: real benchtime, and the results
+#                       are parsed into BENCH_bdd.json (ns/op, B/op,
+#                       allocs/op and custom metrics such as peak-nodes)
+#
+# The JSON file is a flat array of objects, one per benchmark line, so
+# downstream tooling can diff runs without a Go dependency.
+set -eu
+
+PATTERN='BenchmarkTable2Orderings|BenchmarkSynthesizeNetwork'
+
+if [ "${1:-}" != "-full" ]; then
+    go test -run '^$' -bench "$PATTERN" -benchmem -benchtime=1x .
+    go test -run '^$' -bench . -benchmem -benchtime=1x ./internal/bdd/
+    exit 0
+fi
+
+OUT=BENCH_bdd.json
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem . | tee -a "$TMP"
+go test -run '^$' -bench . -benchmem ./internal/bdd/ | tee -a "$TMP"
+
+# Parse `go test -bench` output lines of the form
+#   BenchmarkName-8   123   4567 ns/op   89 B/op   1 allocs/op   42.0 peak-nodes
+# into JSON. Metric tokens come in (value, unit) pairs after the
+# iteration count; units become object keys ("/" replaced to keep the
+# keys shell-friendly downstream).
+awk '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    line = sprintf("  {\"name\":\"%s\",\"iters\":%s", name, $2)
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/%/, "pct", unit)
+        line = line sprintf(",\"%s\":%s", unit, $i)
+    }
+    lines[n++] = line "}"
+}
+END {
+    print "["
+    for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "")
+    print "]"
+}' "$TMP" >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmark(s))"

@@ -1,9 +1,9 @@
 // Package bdd implements reduced ordered binary decision diagrams
 // (ROBDDs) in the style of Bryant, with the operations the POLIS
-// software-synthesis flow needs: ITE, cofactoring, existential
-// quantification (smoothing), support computation, and dynamic
-// variable reordering by sifting (Rudell) with precedence constraints
-// and variable groups.
+// software-synthesis flow needs: ITE, specialized AND/OR/XOR applies,
+// cofactoring, existential quantification (smoothing), support
+// computation, and dynamic variable reordering by sifting (Rudell)
+// with precedence constraints and variable groups.
 //
 // Nodes are identified by small integer handles into an arena owned by
 // a Manager. Handle 0 is the constant false, handle 1 the constant
@@ -12,24 +12,45 @@
 // variable order). In-place adjacent-level swaps preserve the function
 // denoted by every handle, so handles remain valid across reordering.
 //
+// # Storage layer
+//
+// The kernel follows mature BDD packages (CUDD): per-variable unique
+// tables are flat open-addressing hash tables storing node handles
+// (see uniqueTable), and all operations share one fixed-size,
+// direct-mapped, lossy operation cache whose entries carry a
+// generation stamp (see cacheEntry). Reordering swaps and garbage
+// collection invalidate the cache by bumping the generation counter —
+// no reallocation, no traffic for Go's GC — which matters because
+// sifting performs thousands of adjacent swaps per pass. The Hits and
+// Misses statistics therefore count a lossy cache: a collision evicts
+// silently and a later miss may recompute a previously cached result.
+//
+// Garbage collection marks from the protected roots with an iterative
+// stack (no recursion-depth limit), sweeps the arena, and rebuilds the
+// unique tables tombstone-free and right-sized. Sifting triggers the
+// same collection automatically when swap-orphaned nodes double the
+// live arena (see siftPass).
+//
 // # Concurrency
 //
 // A Manager is NOT safe for concurrent use, and deliberately so: the
-// unique tables, operation cache and in-place sifting all mutate
-// shared arena state, and guarding them with locks would put a mutex
-// on the hottest path of the whole synthesis flow. A Manager is owned
-// by a single goroutine — by convention the one that created it — and
-// every operation must be invoked from that goroutine. Concurrent
-// synthesis (see internal/pipeline) gives each worker its own Manager
-// instead of sharing one. Build with `-tags bdddebug` to enforce the
-// invariant at run time: every mutating entry point then panics when
+// unique tables, operation cache, traversal scratch buffers and
+// in-place sifting all mutate shared arena state, and guarding them
+// with locks would put a mutex on the hottest path of the whole
+// synthesis flow. A Manager is owned by a single goroutine — by
+// convention the one that created it — and every operation must be
+// invoked from that goroutine. Concurrent synthesis (see
+// internal/pipeline) gives each worker its own Manager instead of
+// sharing one. Build with `-tags bdddebug` to enforce the invariant at
+// run time: every mutating entry point (including Protect/Unprotect
+// and the mk-reaching helpers VarNode/NVarNode) then panics when
 // called from a goroutine other than the owner (see owner_debug.go);
 // a deliberate handoff can re-bind ownership with TransferOwnership.
 package bdd
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"strings"
 )
 
@@ -61,8 +82,8 @@ type node struct {
 // Manager owns a collection of BDD nodes sharing one variable order.
 type Manager struct {
 	nodes  []node
-	unique []map[uint64]Node // per-variable unique tables, indexed by Var
-	free   []Node            // recycled arena slots
+	unique []uniqueTable // per-variable unique tables, indexed by Var
+	free   []Node        // recycled arena slots
 
 	perm    []int // Var -> level
 	invperm []Var // level -> Var
@@ -70,16 +91,38 @@ type Manager struct {
 
 	group []int32 // Var -> group id (contiguous block of levels)
 
-	ite   map[iteKey]Node
+	cache      []cacheEntry // lossy direct-mapped operation cache
+	cacheGen   uint32       // current generation; stale entries miss
+	cacheShift uint8        // 64 - log2(len(cache))
+
 	roots map[Node]int // protected external references
+
+	// Reused traversal scratch, so Size/GC/sifting allocate nothing
+	// in steady state.
+	markStack   []Node   // explicit DFS stack for mark and Size
+	visited     []uint32 // per-handle visit stamps for read-only walks
+	visitGen    uint32
+	swapScratch []Node  // swapLevels' affected-node list
+	varCount    []int32 // per-variable live counts during GC
+
+	liveAfterGC int // live nodes after the most recent collection
+	autoGCMin   int // arena size below which sifting skips auto-GC
 
 	owner int64 // owning goroutine id; only set under the bdddebug tag
 
 	// Stats
 	GCs    int
 	Swaps  int
-	Hits   int
-	Misses int
+	Hits   int // operation-cache hits (lossy cache; see package doc)
+	Misses int // operation-cache misses
+	// CacheResets counts operation-cache reallocations (growth or
+	// generation wraparound). Reordering and GC invalidate by bumping
+	// the generation instead, so a full sift pass performs zero
+	// resets.
+	CacheResets int
+	// Evictions counts live cache entries overwritten by a colliding
+	// store (the cost of the lossy direct-mapped design).
+	Evictions int
 	// PeakNodes is the high-water mark of live arena nodes, the
 	// paper's "peak BDD size" figure of merit for an ordering.
 	PeakNodes int
@@ -87,19 +130,21 @@ type Manager struct {
 	SiftPasses int
 }
 
-type iteKey struct{ f, g, h Node }
-
 // New creates an empty manager with no variables.
 func New() *Manager {
 	m := &Manager{
-		ite:   make(map[iteKey]Node),
-		roots: make(map[Node]int),
+		cache:      make([]cacheEntry, cacheMinSize),
+		cacheShift: uint8(64 - bits.Len(uint(cacheMinSize-1))),
+		cacheGen:   1,
+		roots:      make(map[Node]int),
 	}
 	if ownerChecks {
 		m.owner = goid()
 	}
 	// Terminals occupy slots 0 and 1.
 	m.nodes = append(m.nodes, node{v: -1}, node{v: -1})
+	m.liveAfterGC = 2
+	m.autoGCMin = 4096
 	return m
 }
 
@@ -137,7 +182,7 @@ func (m *Manager) NewVar(name string) Var {
 	v := Var(len(m.perm))
 	m.perm = append(m.perm, len(m.perm))
 	m.invperm = append(m.invperm, v)
-	m.unique = append(m.unique, make(map[uint64]Node))
+	m.unique = append(m.unique, uniqueTable{})
 	m.names = append(m.names, name)
 	m.group = append(m.group, int32(v)) // singleton group
 	return v
@@ -180,8 +225,6 @@ func (m *Manager) LowHigh(n Node) (lo, hi Node) {
 	return nd.lo, nd.hi
 }
 
-func pairKey(lo, hi Node) uint64 { return uint64(uint32(lo))<<32 | uint64(uint32(hi)) }
-
 // mk returns the canonical node (v, lo, hi), creating it if necessary.
 // The children must be labelled by variables strictly below v in the
 // current order.
@@ -189,9 +232,7 @@ func (m *Manager) mk(v Var, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	tbl := m.unique[v]
-	k := pairKey(lo, hi)
-	if n, ok := tbl[k]; ok {
+	if n := m.unique[v].lookup(m.nodes, lo, hi); n != 0 {
 		return n
 	}
 	var n Node
@@ -206,25 +247,33 @@ func (m *Manager) mk(v Var, lo, hi Node) Node {
 	if live := len(m.nodes) - len(m.free); live > m.PeakNodes {
 		m.PeakNodes = live
 	}
-	tbl[k] = n
+	m.unique[v].insert(m.nodes, lo, hi, n)
 	return n
 }
 
 // VarNode returns the function that is true exactly when v is true.
-func (m *Manager) VarNode(v Var) Node { return m.mk(v, False, True) }
+func (m *Manager) VarNode(v Var) Node {
+	m.checkOwner()
+	return m.mk(v, False, True)
+}
 
 // NVarNode returns the function that is true exactly when v is false.
-func (m *Manager) NVarNode(v Var) Node { return m.mk(v, True, False) }
+func (m *Manager) NVarNode(v Var) Node {
+	m.checkOwner()
+	return m.mk(v, True, False)
+}
 
 // Protect registers n as an external root so garbage collection and
 // reordering keep it (and everything it reaches) alive. Calls nest.
 func (m *Manager) Protect(n Node) Node {
+	m.checkOwner()
 	m.roots[n]++
 	return n
 }
 
 // Unprotect removes one protection registration added by Protect.
 func (m *Manager) Unprotect(n Node) {
+	m.checkOwner()
 	if c := m.roots[n]; c > 1 {
 		m.roots[n] = c - 1
 	} else {
@@ -233,15 +282,44 @@ func (m *Manager) Unprotect(n Node) {
 }
 
 // GC reclaims nodes not reachable from protected roots. The operation
-// cache is flushed. Handles of collected nodes become invalid.
+// cache is invalidated (by generation bump, not reallocation) and the
+// unique tables are rebuilt tombstone-free and right-sized. Handles of
+// collected nodes become invalid.
 func (m *Manager) GC() {
 	m.checkOwner()
+	m.gc(nil)
+}
+
+// gc is the collection core; extra lists additional roots to keep
+// alive (sifting passes its cost roots, which need not be protected).
+func (m *Manager) gc(extra []Node) {
 	m.GCs++
 	for r := range m.roots {
-		m.markRec(r)
+		m.mark(r)
 	}
-	m.ite = make(map[iteKey]Node)
+	for _, r := range extra {
+		m.mark(r)
+	}
+	m.bumpCacheGen()
 	m.free = m.free[:0]
+	// Per-variable live counts size the rebuilt tables.
+	if cap(m.varCount) < len(m.unique) {
+		m.varCount = make([]int32, len(m.unique))
+	}
+	cnt := m.varCount[:len(m.unique)]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := 2; i < len(m.nodes); i++ {
+		nd := &m.nodes[i]
+		if !nd.dead && nd.mark {
+			cnt[nd.v]++
+		}
+	}
+	for v := range m.unique {
+		m.unique[v].reset(int(cnt[v]))
+	}
+	live := 2
 	for i := 2; i < len(m.nodes); i++ {
 		nd := &m.nodes[i]
 		if nd.dead {
@@ -250,45 +328,91 @@ func (m *Manager) GC() {
 		}
 		if nd.mark {
 			nd.mark = false
+			m.unique[nd.v].insert(m.nodes, nd.lo, nd.hi, Node(i))
+			live++
 			continue
 		}
-		delete(m.unique[nd.v], pairKey(nd.lo, nd.hi))
 		nd.dead = true
 		m.free = append(m.free, Node(i))
 	}
+	m.liveAfterGC = live
 }
 
-func (m *Manager) markRec(n Node) {
-	if n.IsConst() {
+// mark sets the GC mark bit on every node reachable from r, using an
+// explicit stack (reused across calls) so arbitrarily deep diagrams
+// cannot overflow the goroutine stack.
+func (m *Manager) mark(r Node) {
+	if r.IsConst() || m.nodes[r].mark {
 		return
 	}
-	nd := &m.nodes[n]
-	if nd.mark {
-		return
+	m.nodes[r].mark = true
+	stack := append(m.markStack[:0], r)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &m.nodes[n]
+		if lo := nd.lo; !lo.IsConst() && !m.nodes[lo].mark {
+			m.nodes[lo].mark = true
+			stack = append(stack, lo)
+		}
+		if hi := nd.hi; !hi.IsConst() && !m.nodes[hi].mark {
+			m.nodes[hi].mark = true
+			stack = append(stack, hi)
+		}
 	}
-	nd.mark = true
-	m.markRec(nd.lo)
-	m.markRec(nd.hi)
+	m.markStack = stack[:0]
+}
+
+// visitEpoch starts a read-only traversal epoch: it returns a stamp
+// distinct from every stamp in m.visited, growing the stamp array to
+// cover the arena. Stamped traversals replace per-call map[Node]bool
+// scratch in the hot Size path (called once per candidate position
+// during sifting).
+func (m *Manager) visitEpoch() uint32 {
+	if len(m.visited) < len(m.nodes) {
+		grown := make([]uint32, len(m.nodes)+len(m.nodes)/2)
+		copy(grown, m.visited)
+		m.visited = grown
+	}
+	m.visitGen++
+	if m.visitGen == 0 { // uint32 wraparound: restamp from scratch
+		for i := range m.visited {
+			m.visited[i] = 0
+		}
+		m.visitGen = 1
+	}
+	return m.visitGen
 }
 
 // Size returns the number of non-terminal nodes reachable from the
 // given roots (shared nodes counted once).
 func (m *Manager) Size(roots ...Node) int {
-	seen := make(map[Node]bool)
-	var count func(n Node)
-	count = func(n Node) {
-		if n.IsConst() || seen[n] {
-			return
-		}
-		seen[n] = true
-		nd := &m.nodes[n]
-		count(nd.lo)
-		count(nd.hi)
-	}
+	gen := m.visitEpoch()
+	stack := m.markStack[:0]
+	count := 0
 	for _, r := range roots {
-		count(r)
+		if r.IsConst() || m.visited[r] == gen {
+			continue
+		}
+		m.visited[r] = gen
+		stack = append(stack, r)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			count++
+			nd := &m.nodes[n]
+			if lo := nd.lo; !lo.IsConst() && m.visited[lo] != gen {
+				m.visited[lo] = gen
+				stack = append(stack, lo)
+			}
+			if hi := nd.hi; !hi.IsConst() && m.visited[hi] != gen {
+				m.visited[hi] = gen
+				stack = append(stack, hi)
+			}
+		}
 	}
-	return len(seen)
+	m.markStack = stack[:0]
+	return count
 }
 
 // Eval evaluates the function denoted by n under the given assignment.
@@ -307,25 +431,34 @@ func (m *Manager) Eval(n Node, assign func(Var) bool) bool {
 // Support returns the variables the function denoted by n essentially
 // depends on, in increasing Var order.
 func (m *Manager) Support(n Node) []Var {
-	seen := make(map[Node]bool)
-	vars := make(map[Var]bool)
-	var walk func(n Node)
-	walk = func(n Node) {
-		if n.IsConst() || seen[n] {
-			return
+	gen := m.visitEpoch()
+	stack := m.markStack[:0]
+	inSup := make([]bool, len(m.perm))
+	if !n.IsConst() {
+		m.visited[n] = gen
+		stack = append(stack, n)
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &m.nodes[x]
+		inSup[nd.v] = true
+		if lo := nd.lo; !lo.IsConst() && m.visited[lo] != gen {
+			m.visited[lo] = gen
+			stack = append(stack, lo)
 		}
-		seen[n] = true
-		nd := &m.nodes[n]
-		vars[nd.v] = true
-		walk(nd.lo)
-		walk(nd.hi)
+		if hi := nd.hi; !hi.IsConst() && m.visited[hi] != gen {
+			m.visited[hi] = gen
+			stack = append(stack, hi)
+		}
 	}
-	walk(n)
-	out := make([]Var, 0, len(vars))
-	for v := range vars {
-		out = append(out, v)
+	m.markStack = stack[:0]
+	var out []Var
+	for v, in := range inSup {
+		if in {
+			out = append(out, Var(v))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -355,8 +488,11 @@ func (m *Manager) String(n Node) string {
 
 // CheckInvariants verifies structural invariants of the manager:
 // reducedness (no node with lo==hi), ordering (children strictly below
-// parents), and unique-table consistency. It is used by tests and
-// returns a descriptive error on the first violation found.
+// parents), unique-table consistency (every live node reachable along
+// its probe chain, every table entry live and correctly labelled, no
+// duplicates, load factor within the growth bound), and order
+// permutation consistency. It is used by tests and returns a
+// descriptive error on the first violation found.
 func (m *Manager) CheckInvariants() error {
 	for i := 2; i < len(m.nodes); i++ {
 		nd := &m.nodes[i]
@@ -369,20 +505,37 @@ func (m *Manager) CheckInvariants() error {
 		if m.levelOf(nd.lo) <= m.perm[nd.v] || m.levelOf(nd.hi) <= m.perm[nd.v] {
 			return fmt.Errorf("node %d (var %s level %d): child above or at own level", i, m.names[nd.v], m.perm[nd.v])
 		}
-		got, ok := m.unique[nd.v][pairKey(nd.lo, nd.hi)]
-		if !ok || got != Node(i) {
-			return fmt.Errorf("node %d: unique table entry missing or wrong (%d)", i, got)
+		// Probe-chain reachability: the node must be found by lookup
+		// from its hash slot.
+		if got := m.unique[nd.v].lookup(m.nodes, nd.lo, nd.hi); got != Node(i) {
+			return fmt.Errorf("node %d: unique table lookup missing or wrong (%d)", i, got)
 		}
 	}
-	for v, tbl := range m.unique {
-		for k, n := range tbl {
-			nd := &m.nodes[n]
+	for v := range m.unique {
+		t := &m.unique[v]
+		live := 0
+		for _, s := range t.slots {
+			if s == emptySlot || s == tombSlot {
+				continue
+			}
+			live++
+			nd := &m.nodes[s]
 			if nd.dead {
-				return fmt.Errorf("unique[%d] holds dead node %d", v, n)
+				return fmt.Errorf("unique[%d] holds dead node %d", v, s)
 			}
-			if nd.v != Var(v) || pairKey(nd.lo, nd.hi) != k {
-				return fmt.Errorf("unique[%d] entry inconsistent for node %d", v, n)
+			if nd.v != Var(v) {
+				return fmt.Errorf("unique[%d] holds node %d labelled %d", v, s, nd.v)
 			}
+			if got := t.lookup(m.nodes, nd.lo, nd.hi); got != s {
+				return fmt.Errorf("unique[%d]: node %d shadowed or unreachable (lookup found %d)", v, s, got)
+			}
+		}
+		if live != int(t.count) {
+			return fmt.Errorf("unique[%d]: count %d but %d live slots", v, t.count, live)
+		}
+		if len(t.slots) > 0 && (int(t.count)+int(t.tombs))*4 > len(t.slots)*3 {
+			return fmt.Errorf("unique[%d]: load factor above 3/4 (%d live + %d tombs in %d slots)",
+				v, t.count, t.tombs, len(t.slots))
 		}
 	}
 	// Order permutation consistency.
@@ -420,4 +573,14 @@ func (m *Manager) Dot(roots ...Node) string {
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// sortVarsByLevelDesc is a small insertion sort used by cube builders;
+// cubes are short, so this beats sort.Slice's indirection.
+func (m *Manager) sortVarsByLevelDesc(vs []Var) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && m.perm[vs[j]] > m.perm[vs[j-1]]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
 }

@@ -1,10 +1,20 @@
 package bdd
 
 // Ite computes if-then-else: f ? g : h. It is the universal binary
-// operation from which all two-argument Boolean connectives derive.
+// operation from which all two-argument Boolean connectives derive;
+// the common connectives (And/Or/Xor/Not) additionally have
+// specialized recursions with their own terminal rules and cache op
+// codes, so they never pay a Not materialisation or a three-operand
+// walk.
 func (m *Manager) Ite(f, g, h Node) Node {
 	m.checkOwner()
-	// Terminal cases.
+	m.maybeGrowCache()
+	return m.iteRec(f, g, h)
+}
+
+func (m *Manager) iteRec(f, g, h Node) Node {
+	// Terminal cases, plus reductions to the cheaper specialized
+	// operators (which also concentrate cache traffic on one key).
 	switch {
 	case f == True:
 		return g
@@ -14,13 +24,16 @@ func (m *Manager) Ite(f, g, h Node) Node {
 		return g
 	case g == True && h == False:
 		return f
+	case g == False && h == True:
+		return m.notRec(f)
+	case g == True:
+		return m.orRec(f, h)
+	case h == False:
+		return m.andRec(f, g)
 	}
-	k := iteKey{f, g, h}
-	if r, ok := m.ite[k]; ok {
-		m.Hits++
+	if r, ok := m.cacheLookup(opIte, f, g, h); ok {
 		return r
 	}
-	m.Misses++
 	// Split on the top variable among f, g, h.
 	lvl := m.levelOf(f)
 	if l := m.levelOf(g); l < lvl {
@@ -33,10 +46,10 @@ func (m *Manager) Ite(f, g, h Node) Node {
 	f0, f1 := m.cofactorsAt(f, v)
 	g0, g1 := m.cofactorsAt(g, v)
 	h0, h1 := m.cofactorsAt(h, v)
-	lo := m.Ite(f0, g0, h0)
-	hi := m.Ite(f1, g1, h1)
+	lo := m.iteRec(f0, g0, h0)
+	hi := m.iteRec(f1, g1, h1)
 	r := m.mk(v, lo, hi)
-	m.ite[k] = r
+	m.cacheStore(opIte, f, g, h, r)
 	return r
 }
 
@@ -54,65 +67,197 @@ func (m *Manager) cofactorsAt(n Node, v Var) (lo, hi Node) {
 	return n, n
 }
 
+// topSplit returns the top variable among f and g (both non-terminal
+// at most one may be terminal) and the four cofactors.
+func (m *Manager) topSplit(f, g Node) (v Var, f0, f1, g0, g1 Node) {
+	lvl := m.levelOf(f)
+	if l := m.levelOf(g); l < lvl {
+		lvl = l
+	}
+	v = m.invperm[lvl]
+	f0, f1 = m.cofactorsAt(f, v)
+	g0, g1 = m.cofactorsAt(g, v)
+	return
+}
+
+// notRec is the specialized complement recursion (cache op opNot).
+func (m *Manager) notRec(f Node) Node {
+	if f == False {
+		return True
+	}
+	if f == True {
+		return False
+	}
+	if r, ok := m.cacheLookup(opNot, f, 0, 0); ok {
+		return r
+	}
+	nd := m.nodes[f]
+	r := m.mk(nd.v, m.notRec(nd.lo), m.notRec(nd.hi))
+	m.cacheStore(opNot, f, 0, 0, r)
+	return r
+}
+
+// andRec is the specialized conjunction recursion. Operands are
+// normalised by handle order (AND commutes), doubling cache coverage.
+func (m *Manager) andRec(f, g Node) Node {
+	switch {
+	case f == g:
+		return f
+	case f == False || g == False:
+		return False
+	case f == True:
+		return g
+	case g == True:
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.cacheLookup(opAnd, f, g, 0); ok {
+		return r
+	}
+	v, f0, f1, g0, g1 := m.topSplit(f, g)
+	r := m.mk(v, m.andRec(f0, g0), m.andRec(f1, g1))
+	m.cacheStore(opAnd, f, g, 0, r)
+	return r
+}
+
+// orRec is the specialized disjunction recursion.
+func (m *Manager) orRec(f, g Node) Node {
+	switch {
+	case f == g:
+		return f
+	case f == True || g == True:
+		return True
+	case f == False:
+		return g
+	case g == False:
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.cacheLookup(opOr, f, g, 0); ok {
+		return r
+	}
+	v, f0, f1, g0, g1 := m.topSplit(f, g)
+	r := m.mk(v, m.orRec(f0, g0), m.orRec(f1, g1))
+	m.cacheStore(opOr, f, g, 0, r)
+	return r
+}
+
+// xorRec is the specialized exclusive-or recursion: unlike the ITE
+// formulation Xor(f,g) = Ite(f, Not(g), g), it never materialises a
+// complement of g.
+func (m *Manager) xorRec(f, g Node) Node {
+	switch {
+	case f == g:
+		return False
+	case f == False:
+		return g
+	case g == False:
+		return f
+	case f == True:
+		return m.notRec(g)
+	case g == True:
+		return m.notRec(f)
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.cacheLookup(opXor, f, g, 0); ok {
+		return r
+	}
+	v, f0, f1, g0, g1 := m.topSplit(f, g)
+	r := m.mk(v, m.xorRec(f0, g0), m.xorRec(f1, g1))
+	m.cacheStore(opXor, f, g, 0, r)
+	return r
+}
+
 // Not returns the complement of f.
-func (m *Manager) Not(f Node) Node { return m.Ite(f, False, True) }
+func (m *Manager) Not(f Node) Node {
+	m.checkOwner()
+	m.maybeGrowCache()
+	return m.notRec(f)
+}
 
 // And returns the conjunction of its arguments (True for none).
 func (m *Manager) And(fs ...Node) Node {
+	m.checkOwner()
+	m.maybeGrowCache()
 	r := True
 	for _, f := range fs {
-		r = m.Ite(r, f, False)
+		r = m.andRec(r, f)
+		if r == False {
+			break
+		}
 	}
 	return r
 }
 
 // Or returns the disjunction of its arguments (False for none).
 func (m *Manager) Or(fs ...Node) Node {
+	m.checkOwner()
+	m.maybeGrowCache()
 	r := False
 	for _, f := range fs {
-		r = m.Ite(r, True, f)
+		r = m.orRec(r, f)
+		if r == True {
+			break
+		}
 	}
 	return r
 }
 
 // Xor returns the exclusive or of f and g.
-func (m *Manager) Xor(f, g Node) Node { return m.Ite(f, m.Not(g), g) }
+func (m *Manager) Xor(f, g Node) Node {
+	m.checkOwner()
+	m.maybeGrowCache()
+	return m.xorRec(f, g)
+}
 
 // Xnor returns the equivalence (biconditional) of f and g.
-func (m *Manager) Xnor(f, g Node) Node { return m.Ite(f, g, m.Not(g)) }
+func (m *Manager) Xnor(f, g Node) Node {
+	m.checkOwner()
+	m.maybeGrowCache()
+	return m.notRec(m.xorRec(f, g))
+}
 
 // Implies returns f -> g.
 func (m *Manager) Implies(f, g Node) Node { return m.Ite(f, g, True) }
 
 // Cofactor returns the restriction of f with v replaced by the given
-// constant value (Shannon cofactor).
+// constant value (Shannon cofactor). Sub-results are memoised in the
+// shared operation cache keyed on a packed variable/phase literal, so
+// they persist across calls instead of living in per-call scratch
+// maps.
 func (m *Manager) Cofactor(f Node, v Var, val bool) Node {
 	m.checkOwner()
-	cache := make(map[Node]Node)
-	lvl := m.perm[v]
-	var rec func(n Node) Node
-	rec = func(n Node) Node {
-		if n.IsConst() || m.levelOf(n) > lvl {
-			return n
+	m.maybeGrowCache()
+	lit := Node(int32(v) << 1)
+	if val {
+		lit++
+	}
+	return m.cofRec(f, v, m.perm[v], lit)
+}
+
+func (m *Manager) cofRec(f Node, v Var, lvl int, lit Node) Node {
+	if f.IsConst() || m.levelOf(f) > lvl {
+		return f
+	}
+	nd := m.nodes[f]
+	if nd.v == v {
+		if lit&1 != 0 {
+			return nd.hi
 		}
-		if r, ok := cache[n]; ok {
-			return r
-		}
-		nd := &m.nodes[n]
-		var r Node
-		if nd.v == v {
-			if val {
-				r = nd.hi
-			} else {
-				r = nd.lo
-			}
-		} else {
-			r = m.mk(nd.v, rec(nd.lo), rec(nd.hi))
-		}
-		cache[n] = r
+		return nd.lo
+	}
+	if r, ok := m.cacheLookup(opCofactor, f, lit, 0); ok {
 		return r
 	}
-	return rec(f)
+	r := m.mk(nd.v, m.cofRec(nd.lo, v, lvl, lit), m.cofRec(nd.hi, v, lvl, lit))
+	m.cacheStore(opCofactor, f, lit, 0, r)
+	return r
 }
 
 // Restrict applies a partial assignment given as parallel slices of
@@ -124,43 +269,66 @@ func (m *Manager) Restrict(f Node, vars []Var, vals []bool) Node {
 	return f
 }
 
+// varsCube builds the positive-literal cube of the given variables in
+// the current order — the canonical operation-cache key for
+// quantification. Duplicate variables collapse.
+func (m *Manager) varsCube(vars []Var) Node {
+	vs := append(make([]Var, 0, len(vars)), vars...)
+	m.sortVarsByLevelDesc(vs)
+	c := True
+	for i, v := range vs {
+		if i > 0 && v == vs[i-1] {
+			continue
+		}
+		c = m.mk(v, False, c)
+	}
+	return c
+}
+
 // Exists existentially quantifies (smooths) the given variables out of
 // f: the result is true wherever some assignment to vars makes f true.
+// The quantified set is represented as a positive-literal cube so that
+// sub-results cache in the shared operation cache across calls.
 func (m *Manager) Exists(f Node, vars ...Var) Node {
 	m.checkOwner()
 	if len(vars) == 0 {
 		return f
 	}
-	quant := make(map[Var]bool, len(vars))
-	maxLvl := -1
-	for _, v := range vars {
-		quant[v] = true
-		if m.perm[v] > maxLvl {
-			maxLvl = m.perm[v]
-		}
+	m.maybeGrowCache()
+	return m.existsRec(f, m.varsCube(vars))
+}
+
+func (m *Manager) existsRec(f, cube Node) Node {
+	if f.IsConst() || cube == True {
+		return f
 	}
-	cache := make(map[Node]Node)
-	var rec func(n Node) Node
-	rec = func(n Node) Node {
-		if n.IsConst() || m.levelOf(n) > maxLvl {
-			return n
-		}
-		if r, ok := cache[n]; ok {
-			return r
-		}
-		nd := &m.nodes[n]
-		lo := rec(nd.lo)
-		hi := rec(nd.hi)
-		var r Node
-		if quant[nd.v] {
-			r = m.Ite(lo, True, hi) // lo OR hi
-		} else {
-			r = m.mk(nd.v, lo, hi)
-		}
-		cache[n] = r
+	// Skip cube variables above f's top level: f cannot depend on
+	// them, so quantifying them is the identity.
+	flvl := m.levelOf(f)
+	for cube != True && m.perm[m.nodes[cube].v] < flvl {
+		cube = m.nodes[cube].hi
+	}
+	if cube == True {
+		return f
+	}
+	if r, ok := m.cacheLookup(opExists, f, cube, 0); ok {
 		return r
 	}
-	return rec(f)
+	nd := m.nodes[f]
+	var r Node
+	if nd.v == m.nodes[cube].v {
+		rest := m.nodes[cube].hi
+		lo := m.existsRec(nd.lo, rest)
+		if lo == True { // OR short-circuit
+			r = True
+		} else {
+			r = m.orRec(lo, m.existsRec(nd.hi, rest))
+		}
+	} else {
+		r = m.mk(nd.v, m.existsRec(nd.lo, cube), m.existsRec(nd.hi, cube))
+	}
+	m.cacheStore(opExists, f, cube, 0, r)
+	return r
 }
 
 // Forall universally quantifies the given variables out of f.
@@ -177,21 +345,33 @@ func (m *Manager) Compose(f Node, v Var, g Node) Node {
 
 // DependsOn reports whether f essentially depends on v.
 func (m *Manager) DependsOn(f Node, v Var) bool {
-	seen := make(map[Node]bool)
+	if f.IsConst() {
+		return false
+	}
 	lvl := m.perm[v]
-	var rec func(n Node) bool
-	rec = func(n Node) bool {
-		if n.IsConst() || m.levelOf(n) > lvl || seen[n] {
-			return false
-		}
-		seen[n] = true
+	gen := m.visitEpoch()
+	stack := append(m.markStack[:0], f)
+	m.visited[f] = gen
+	found := false
+	for len(stack) > 0 && !found {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		nd := &m.nodes[n]
 		if nd.v == v {
-			return true
+			found = true
+			break
 		}
-		return rec(nd.lo) || rec(nd.hi)
+		if lo := nd.lo; !lo.IsConst() && m.levelOf(lo) <= lvl && m.visited[lo] != gen {
+			m.visited[lo] = gen
+			stack = append(stack, lo)
+		}
+		if hi := nd.hi; !hi.IsConst() && m.levelOf(hi) <= lvl && m.visited[hi] != gen {
+			m.visited[hi] = gen
+			stack = append(stack, hi)
+		}
 	}
-	return rec(f)
+	m.markStack = stack[:0]
+	return found
 }
 
 // SatCount returns the number of satisfying assignments of f over the

@@ -52,3 +52,33 @@ func TestOwnerCheckPanics(t *testing.T) {
 type ownerErr struct{}
 
 func (*ownerErr) Error() string { return "owner panic" }
+
+// TestOwnerCheckCoversMutatingHelpers verifies that the mutating entry
+// points that historically skipped the ownership assertion — Protect,
+// Unprotect and the mk-reaching VarNode/NVarNode helpers — now panic
+// from a foreign goroutine, so bdddebug actually catches cross-
+// goroutine mutation of the roots map and the unique tables.
+func TestOwnerCheckCoversMutatingHelpers(t *testing.T) {
+	m := New()
+	v := m.NewVar("a")
+	a := m.VarNode(v)
+
+	calls := map[string]func(){
+		"Protect":   func() { m.Protect(a) },
+		"Unprotect": func() { m.Unprotect(a) },
+		"VarNode":   func() { m.VarNode(v) },
+		"NVarNode":  func() { m.NVarNode(v) },
+		"Xor":       func() { m.Xor(a, a) },
+		"Not":       func() { m.Not(a) },
+	}
+	for name, call := range calls {
+		ch := make(chan bool, 1)
+		go func(f func()) {
+			defer func() { ch <- recover() != nil }()
+			f()
+		}(call)
+		if !<-ch {
+			t.Errorf("%s from a foreign goroutine did not panic under bdddebug", name)
+		}
+	}
+}

@@ -8,17 +8,22 @@ import (
 // swapLevels exchanges the variables at levels x and x+1 in place.
 // Every node handle continues to denote the same function afterwards
 // (the classical adjacent-variable swap). The operation cache is
-// flushed.
+// invalidated by a generation bump — sifting performs thousands of
+// swaps per pass, so this path must not allocate.
 func (m *Manager) swapLevels(x int) {
 	m.Swaps++
 	u := m.invperm[x]
 	v := m.invperm[x+1]
 
 	// Nodes labelled u that reference a v-labelled child must be
-	// re-expressed with v on top. Collect them first; the unique
-	// table is mutated below.
-	var affected []Node
-	for _, n := range m.unique[u] {
+	// re-expressed with v on top. Collect them first (into a reused
+	// scratch buffer); the unique table is mutated below.
+	tu := &m.unique[u]
+	affected := m.swapScratch[:0]
+	for _, n := range tu.slots {
+		if n == emptySlot || n == tombSlot {
+			continue
+		}
 		nd := &m.nodes[n]
 		if m.nodes[nd.lo].v == v || m.nodes[nd.hi].v == v {
 			affected = append(affected, n)
@@ -26,7 +31,7 @@ func (m *Manager) swapLevels(x int) {
 	}
 	for _, n := range affected {
 		nd := &m.nodes[n]
-		delete(m.unique[u], pairKey(nd.lo, nd.hi))
+		tu.delete(m.nodes, nd.lo, nd.hi)
 	}
 	for _, n := range affected {
 		f0, f1 := m.nodes[n].lo, m.nodes[n].hi
@@ -46,27 +51,18 @@ func (m *Manager) swapLevels(x int) {
 		n1 := m.mk(u, f01, f11)
 		// Relabel n in place as a v-node. A collision with an
 		// existing v-node is impossible for reduced diagrams.
-		k := pairKey(n0, n1)
-		if old, ok := m.unique[v][k]; ok && old != n {
+		if old := m.unique[v].lookup(m.nodes, n0, n1); old != 0 && old != n {
 			panic(fmt.Sprintf("bdd: swap collision at level %d (node %d vs %d)", x, old, n))
 		}
 		m.nodes[n].v = v
 		m.nodes[n].lo = n0
 		m.nodes[n].hi = n1
-		m.unique[v][k] = n
+		m.unique[v].insert(m.nodes, n0, n1, n)
 	}
+	m.swapScratch = affected[:0]
 	m.perm[u], m.perm[v] = x+1, x
 	m.invperm[x], m.invperm[x+1] = v, u
-	m.ite = make(map[iteKey]Node)
-}
-
-// liveSize counts nodes reachable from the protected roots.
-func (m *Manager) liveSize() int {
-	roots := make([]Node, 0, len(m.roots))
-	for r := range m.roots {
-		roots = append(roots, r)
-	}
-	return m.Size(roots...)
+	m.bumpCacheGen()
 }
 
 // costRoots returns the roots the sift cost function measures.
@@ -171,8 +167,10 @@ type SiftOptions struct {
 	Passes int
 	// Roots, if non-nil, is the set of functions whose shared size
 	// sifting minimises. All protected roots stay alive and valid
-	// either way; Roots only changes the cost function. POLIS uses
-	// this to optimise the characteristic function alone.
+	// either way; Roots additionally survive the collections Sift
+	// runs (they are marked as extra GC roots), so they need not be
+	// protected themselves. POLIS uses this to optimise the
+	// characteristic function alone.
 	Roots []Node
 }
 
@@ -190,14 +188,14 @@ func (m *Manager) Sift(opts SiftOptions) {
 	if passes <= 0 {
 		passes = 1
 	}
-	m.GC()
+	m.gc(opts.Roots)
 	if opts.Precede != nil {
 		m.enforcePrecedence(opts.Precede)
 	}
 	for p := 0; p < passes; p++ {
 		m.siftPass(opts)
 	}
-	m.GC()
+	m.gc(opts.Roots)
 }
 
 // enforcePrecedence bubbles blocks into an order satisfying the given
@@ -248,6 +246,14 @@ func (m *Manager) siftPass(opts SiftOptions) {
 	})
 	for _, gid := range order {
 		m.siftBlock(gid, opts)
+		// Automatic collection: adjacent swaps orphan re-expressed
+		// nodes, and dead nodes both waste memory and slow the swap
+		// scans. Collect when the dead ratio is high — the arena has
+		// doubled since the last GC — marking the cost roots as extra
+		// roots so unprotected cost functions survive.
+		if live := m.NumNodes(); live > m.autoGCMin && live > 2*m.liveAfterGC {
+			m.gc(opts.Roots)
+		}
 	}
 }
 
@@ -282,7 +288,11 @@ func (m *Manager) siftBlock(gid int32, opts SiftOptions) {
 			}
 		}
 	}
-	cost := func() int { return m.Size(m.costRoots(opts)...) }
+	// Resolve the cost roots once: cost() runs after every adjacent
+	// swap, and rebuilding the root list each time allocates in the
+	// hottest loop of the synthesis flow.
+	roots := m.costRoots(opts)
+	cost := func() int { return m.Size(roots...) }
 	startSize := cost()
 	limit := int(float64(startSize) * opts.MaxGrowth)
 	bestSize := startSize

@@ -1,0 +1,150 @@
+package bdd
+
+import "math/bits"
+
+// uniqueTable is the per-variable unique table: an open-addressing
+// (linear probing) hash table mapping a (lo,hi) child pair to the one
+// canonical node labelled by the table's variable. Slots hold node
+// handles directly; the key is recovered from the node arena, so the
+// table costs one int32 per slot. Tables are power-of-two sized, grow
+// by amortized doubling when the load factor (live entries plus
+// tombstones) would exceed 3/4, and are rebuilt tombstone-free and
+// right-sized by GC.
+type uniqueTable struct {
+	slots []Node // node handles; emptySlot / tombSlot are sentinels
+	shift uint8  // 64 - log2(len(slots)); index = hash >> shift
+	count int32  // live entries
+	tombs int32  // tombstone slots left by delete
+}
+
+const (
+	// emptySlot marks a never-used slot. The constant False (handle 0)
+	// is a terminal and never enters a unique table, so 0 is free.
+	emptySlot Node = 0
+	// tombSlot marks a deleted slot: lookups probe past it, inserts
+	// may reuse it.
+	tombSlot Node = -1
+)
+
+// hashPair mixes a child pair into a 64-bit hash whose high bits index
+// the table (Fibonacci hashing).
+func hashPair(lo, hi Node) uint64 {
+	return (uint64(uint32(lo))<<32 | uint64(uint32(hi))) * 0x9E3779B97F4A7C15
+}
+
+// lookup returns the node with children (lo,hi), or 0 when absent.
+func (t *uniqueTable) lookup(nodes []node, lo, hi Node) Node {
+	if len(t.slots) == 0 {
+		return 0
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := hashPair(lo, hi) >> t.shift
+	for {
+		s := t.slots[i]
+		if s == emptySlot {
+			return 0
+		}
+		if s != tombSlot {
+			nd := &nodes[s]
+			if nd.lo == lo && nd.hi == hi {
+				return s
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// insert adds node n with children (lo,hi), which must not already be
+// present. The table grows first when the insert would push the load
+// factor over 3/4.
+func (t *uniqueTable) insert(nodes []node, lo, hi Node, n Node) {
+	if (int(t.count)+int(t.tombs)+1)*4 > len(t.slots)*3 {
+		t.rehash(nodes, int(t.count)+1)
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := hashPair(lo, hi) >> t.shift
+	for t.slots[i] != emptySlot && t.slots[i] != tombSlot {
+		i = (i + 1) & mask
+	}
+	if t.slots[i] == tombSlot {
+		t.tombs--
+	}
+	t.slots[i] = n
+	t.count++
+}
+
+// delete removes the entry with children (lo,hi), leaving a tombstone
+// so later probe chains stay intact. Rehash and GC purge tombstones.
+func (t *uniqueTable) delete(nodes []node, lo, hi Node) {
+	mask := uint64(len(t.slots) - 1)
+	i := hashPair(lo, hi) >> t.shift
+	for {
+		s := t.slots[i]
+		if s == emptySlot {
+			return
+		}
+		if s != tombSlot {
+			nd := &nodes[s]
+			if nd.lo == lo && nd.hi == hi {
+				t.slots[i] = tombSlot
+				t.count--
+				t.tombs++
+				return
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// tableSize returns the power-of-two capacity that keeps want live
+// entries at or below half load.
+func tableSize(want int) int {
+	size := 16
+	for size < want*2 {
+		size *= 2
+	}
+	return size
+}
+
+// rehash rebuilds the table at a capacity sized for want live entries,
+// dropping every tombstone.
+func (t *uniqueTable) rehash(nodes []node, want int) {
+	size := tableSize(want)
+	old := t.slots
+	t.slots = make([]Node, size)
+	t.shift = uint8(64 - bits.Len(uint(size-1)))
+	t.tombs = 0
+	mask := uint64(size - 1)
+	for _, s := range old {
+		if s == emptySlot || s == tombSlot {
+			continue
+		}
+		nd := &nodes[s]
+		i := hashPair(nd.lo, nd.hi) >> t.shift
+		for t.slots[i] != emptySlot {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// reset empties the table and sizes it for want live entries; GC uses
+// it to rebuild tables right-sized (shrinking sparse ones, so sift's
+// slot scans stay proportional to live nodes).
+func (t *uniqueTable) reset(want int) {
+	if want == 0 {
+		t.slots, t.shift = nil, 0
+		t.count, t.tombs = 0, 0
+		return
+	}
+	size := tableSize(want)
+	if size == len(t.slots) {
+		for i := range t.slots {
+			t.slots[i] = emptySlot
+		}
+	} else {
+		t.slots = make([]Node, size)
+		t.shift = uint8(64 - bits.Len(uint(size-1)))
+	}
+	t.count, t.tombs = 0, 0
+}

@@ -150,7 +150,9 @@ func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 	}
 	mgr := r.Space.M
 	tr.Event(Event{Kind: EvBDD, Module: m.Name,
-		PeakNodes: mgr.PeakNodes, SiftSwaps: mgr.Swaps, SiftPasses: mgr.SiftPasses})
+		PeakNodes: mgr.PeakNodes, SiftSwaps: mgr.Swaps, SiftPasses: mgr.SiftPasses,
+		CacheHits: mgr.Hits, CacheMisses: mgr.Misses,
+		CacheResets: mgr.CacheResets, CacheEvictions: mgr.Evictions})
 
 	t = time.Now()
 	prog, err := codegen.Assemble(g, codegen.NewSignalMap(m), opt.Codegen)

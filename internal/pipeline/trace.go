@@ -62,7 +62,9 @@ const (
 	// EvStage reports one finished stage of one module.
 	EvStage
 	// EvBDD reports the module's BDD statistics after s-graph
-	// construction: peak live nodes, sift swaps and sift passes.
+	// construction: peak live nodes, sift swaps, sift passes, and the
+	// kernel's lossy operation-cache counters (hits, misses, resets,
+	// evictions).
 	EvBDD
 	// EvCacheHit and EvCacheMiss report artifact-cache lookups.
 	EvCacheHit
@@ -86,6 +88,13 @@ type Event struct {
 	PeakNodes  int // EvBDD
 	SiftSwaps  int // EvBDD
 	SiftPasses int // EvBDD
+	// Operation-cache counters of the module's BDD manager (EvBDD).
+	// The cache is lossy and generation-stamped: resets count actual
+	// reallocations (growth), evictions count colliding overwrites.
+	CacheHits      int
+	CacheMisses    int
+	CacheResets    int
+	CacheEvictions int
 
 	FromDisk bool // EvCacheHit: served from the on-disk layer
 
@@ -122,6 +131,8 @@ type Collector struct {
 	siftSwaps  int
 	siftPasses int
 
+	bddHits, bddMisses, bddResets, bddEvicts int
+
 	hits, diskHits, misses int
 
 	errs []string
@@ -156,6 +167,10 @@ func (c *Collector) Event(e Event) {
 		}
 		c.siftSwaps += e.SiftSwaps
 		c.siftPasses += e.SiftPasses
+		c.bddHits += e.CacheHits
+		c.bddMisses += e.CacheMisses
+		c.bddResets += e.CacheResets
+		c.bddEvicts += e.CacheEvictions
 	case EvCacheHit:
 		c.hits++
 		if e.FromDisk {
@@ -214,6 +229,10 @@ func (c *Collector) Report() string {
 	if c.peakNodes > 0 {
 		fmt.Fprintf(&b, "  bdd: peak %d live nodes (%s), %d sift swaps, %d passes\n",
 			c.peakNodes, c.peakModule, c.siftSwaps, c.siftPasses)
+	}
+	if tot := c.bddHits + c.bddMisses; tot > 0 {
+		fmt.Fprintf(&b, "  bdd op-cache: %d hit(s), %d miss(es) (%.1f%% hit rate), %d reset(s), %d eviction(s)\n",
+			c.bddHits, c.bddMisses, 100*float64(c.bddHits)/float64(tot), c.bddResets, c.bddEvicts)
 	}
 	fmt.Fprintf(&b, "  cache: %d hit(s) (%d from disk), %d miss(es)\n",
 		c.hits, c.diskHits, c.misses)
