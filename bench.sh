@@ -1,52 +1,165 @@
 #!/bin/sh
 # Benchmark harness for the BDD kernel and the synthesis pipeline.
 #
-#   ./bench.sh          smoke mode: run the key benchmarks once
-#                       (-benchtime=1x) so CI catches bit-rot cheaply
-#   ./bench.sh -full    measured mode: real benchtime, and the results
-#                       are parsed into BENCH_bdd.json (ns/op, B/op,
-#                       allocs/op and custom metrics such as peak-nodes)
+#   ./bench.sh           smoke mode: run the key benchmarks once
+#                        (-benchtime=1x) so CI catches bit-rot cheaply
+#   ./bench.sh -full     measured mode: real benchtime; the results are
+#                        parsed (ns/op, B/op, allocs/op and custom
+#                        metrics such as peak-nodes) and APPENDED to
+#                        BENCH_bdd.json as a new dated run, preserving
+#                        the history of prior runs
+#   ./bench.sh -compare  measured mode, read-only: run the benchmarks
+#                        and print a delta table against the most
+#                        recent run recorded in BENCH_bdd.json, without
+#                        touching the file (no benchstat dependency)
 #
-# The JSON file is a flat array of objects, one per benchmark line, so
-# downstream tooling can diff runs without a Go dependency.
+# BENCH_bdd.json is an array of run objects
+#   [{"date":"YYYY-MM-DD","label":"<commit>","benchmarks":[{...},...]}]
+# with one flat benchmark object per `go test -bench` line, so
+# downstream tooling can diff runs without a Go dependency. Files from
+# before the run-history format (a bare array of benchmark objects)
+# are absorbed as a run labelled "legacy" on the next -full.
 set -eu
 
 PATTERN='BenchmarkTable2Orderings|BenchmarkSynthesizeNetwork'
-
-if [ "${1:-}" != "-full" ]; then
-    go test -run '^$' -bench "$PATTERN" -benchmem -benchtime=1x .
-    go test -run '^$' -bench . -benchmem -benchtime=1x ./internal/bdd/
-    exit 0
-fi
-
 OUT=BENCH_bdd.json
-TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' -bench "$PATTERN" -benchmem . | tee -a "$TMP"
-go test -run '^$' -bench . -benchmem ./internal/bdd/ | tee -a "$TMP"
+run_benches() {
+    go test -run '^$' -bench "$PATTERN" -benchmem .
+    go test -run '^$' -bench . -benchmem ./internal/bdd/
+}
 
-# Parse `go test -bench` output lines of the form
+# parse_benches: stdin is `go test -bench` output; stdout is one JSON
+# benchmark object per line (no surrounding brackets). Lines look like
 #   BenchmarkName-8   123   4567 ns/op   89 B/op   1 allocs/op   42.0 peak-nodes
-# into JSON. Metric tokens come in (value, unit) pairs after the
-# iteration count; units become object keys ("/" replaced to keep the
-# keys shell-friendly downstream).
-awk '
+# Metric tokens come in (value, unit) pairs after the iteration count;
+# units become object keys ("/" replaced to keep the keys
+# shell-friendly downstream).
+parse_benches() {
+    awk '
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    line = sprintf("  {\"name\":\"%s\",\"iters\":%s", name, $2)
+    line = sprintf("{\"name\":\"%s\",\"iters\":%s", name, $2)
     for (i = 3; i < NF; i += 2) {
         unit = $(i + 1)
         gsub(/\//, "_per_", unit)
         gsub(/%/, "pct", unit)
         line = line sprintf(",\"%s\":%s", unit, $i)
     }
-    lines[n++] = line "}"
+    print line "}"
+}'
+}
+
+# latest_run: print the benchmark-object lines of the newest run in
+# $OUT (or of the whole file when it predates the run-history format).
+latest_run() {
+    [ -f "$OUT" ] || return 0
+    if grep -q '"benchmarks"' "$OUT"; then
+        awk '
+/"benchmarks"/ { n++; delete b; k = 0; next }
+/"name"/       { s = $0; sub(/^[ \t]*/, "", s); sub(/,[ \t]*$/, "", s); b[k++] = s }
+END            { for (i = 0; i < k; i++) print b[i] }' "$OUT"
+    else
+        awk '
+/"name"/ { s = $0; sub(/^[ \t]*/, "", s); sub(/,[ \t]*$/, "", s); print s }' "$OUT"
+    fi
+}
+
+# append_run NEWFILE: rewrite $OUT with every prior run followed by a
+# new dated run holding NEWFILE's benchmark lines.
+append_run() {
+    new=$1
+    date=$(date +%Y-%m-%d)
+    label=$(git rev-parse --short HEAD 2>/dev/null || echo "worktree")
+    prev=$(mktemp)
+    if [ -f "$OUT" ] && grep -q '"benchmarks"' "$OUT"; then
+        # Drop the final "]" of the runs array; keep everything else.
+        awk 'NR > 1 { print last } { last = $0 } END { if (last != "]") print last }' "$OUT" |
+            sed '$ s/}[ \t]*$/},/' >"$prev"
+    elif [ -f "$OUT" ] && grep -q '"name"' "$OUT"; then
+        # Legacy flat-array file: absorb it as one "legacy" run.
+        {
+            echo "["
+            echo " {\"date\":\"unknown\",\"label\":\"legacy\",\"benchmarks\":["
+            latest_run | sed 's/^/  /' | sed '$ ! s/$/,/'
+            echo " ]},"
+        } >"$prev"
+    else
+        echo "[" >"$prev"
+    fi
+    {
+        cat "$prev"
+        echo " {\"date\":\"$date\",\"label\":\"$label\",\"benchmarks\":["
+        sed 's/^/  /' "$new" | sed '$ ! s/$/,/'
+        echo " ]}"
+        echo "]"
+    } >"$OUT"
+    rm -f "$prev"
+    echo "wrote $OUT ($(grep -c '"name"' "$new") benchmark(s), $(grep -c '"benchmarks"' "$OUT") run(s))"
+}
+
+# compare OLDFILE NEWFILE: per-benchmark delta table on ns/op, B/op and
+# allocs/op. Both inputs hold one benchmark object per line.
+compare_runs() {
+    awk '
+function val(line, key,   m) {
+    if (match(line, "\"" key "\":[0-9.]+")) {
+        m = substr(line, RSTART, RLENGTH)
+        sub(/^[^:]*:/, "", m)
+        return m
+    }
+    return ""
+}
+function nm(line,   m) {
+    match(line, /"name":"[^"]*"/)
+    m = substr(line, RSTART + 8, RLENGTH - 9)
+    return m
+}
+function delta(o, n) {
+    if (o == "" || n == "" || o + 0 == 0) return "      -"
+    return sprintf("%+6.1f%%", 100 * (n - o) / o)
+}
+NR == FNR { old[nm($0)] = $0; next }
+{
+    name = nm($0); o = old[name]
+    printf "%-40s %12s %12s %8s %10s %10s %8s\n", name,
+        val(o, "ns_per_op"), val($0, "ns_per_op"), delta(val(o, "ns_per_op"), val($0, "ns_per_op")),
+        val(o, "B_per_op"), val($0, "B_per_op"), delta(val(o, "allocs_per_op"), val($0, "allocs_per_op"))
+    seen[name] = 1
 }
 END {
-    print "["
-    for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "")
-    print "]"
-}' "$TMP" >"$OUT"
+    for (n in old) if (!(n in seen)) printf "%-40s %12s %12s\n", n, val(old[n], "ns_per_op"), "(gone)"
+}' "$1" "$2"
+}
 
-echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmark(s))"
+case "${1:-}" in
+"")
+    go test -run '^$' -bench "$PATTERN" -benchmem -benchtime=1x .
+    go test -run '^$' -bench . -benchmem -benchtime=1x ./internal/bdd/
+    ;;
+-full)
+    TMP=$(mktemp) NEW=$(mktemp)
+    trap 'rm -f "$TMP" "$NEW"' EXIT
+    run_benches | tee "$TMP"
+    parse_benches <"$TMP" >"$NEW"
+    append_run "$NEW"
+    ;;
+-compare)
+    TMP=$(mktemp) NEW=$(mktemp) OLD=$(mktemp)
+    trap 'rm -f "$TMP" "$NEW" "$OLD"' EXIT
+    latest_run >"$OLD"
+    if [ ! -s "$OLD" ]; then
+        echo "no prior run in $OUT; run ./bench.sh -full first" >&2
+        exit 1
+    fi
+    run_benches | tee "$TMP"
+    parse_benches <"$TMP" >"$NEW"
+    echo
+    printf "%-40s %12s %12s %8s %10s %10s %8s\n" benchmark "old ns/op" "new ns/op" delta "old B/op" "new B/op" allocs
+    compare_runs "$OLD" "$NEW"
+    ;;
+*)
+    echo "usage: ./bench.sh [-full|-compare]" >&2
+    exit 2
+    ;;
+esac

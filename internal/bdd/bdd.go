@@ -105,6 +105,12 @@ type Manager struct {
 	swapScratch []Node  // swapLevels' affected-node list
 	varCount    []int32 // per-variable live counts during GC
 
+	// sift holds the incremental reordering-cost state: per-variable
+	// reachable-node counters maintained by swapLevels itself, the
+	// variable interaction matrix, and the cost roots resolved for
+	// the current Sift call (see siftcost.go).
+	sift siftState
+
 	liveAfterGC int // live nodes after the most recent collection
 	autoGCMin   int // arena size below which sifting skips auto-GC
 
@@ -128,6 +134,22 @@ type Manager struct {
 	PeakNodes int
 	// SiftPasses counts completed sifting passes.
 	SiftPasses int
+	// SwapsSkipped counts adjacent swaps resolved by the
+	// interaction-matrix fast path: the two variables share no
+	// support, so the exchange is a pure order relabel with no table
+	// scan, no node mutation and no cache invalidation. Such swaps
+	// are not included in Swaps.
+	SwapsSkipped int
+	// LBPrunes counts sift directions abandoned by lower-bound
+	// pruning: even if every interacting level the block had yet to
+	// pass collapsed entirely, the size could not beat the best
+	// position already found.
+	LBPrunes int
+	// CostEvals counts sift cost evaluations. Each is an O(1) read
+	// of the incrementally maintained counters; before the
+	// incremental scheme every evaluation was a full Size(roots...)
+	// traversal of the shared DAG.
+	CostEvals int
 }
 
 // New creates an empty manager with no variables.

@@ -14,6 +14,13 @@ import (
 // only, not the hot mk path) so `go test -tags bdddebug` stays usable.
 const ownerChecks = true
 
+// siftCostChecks enables the incremental-sift-cost invariant: after
+// every adjacent swap the maintained cost must equal Size(roots...)
+// recomputed from scratch (see Manager.verifySiftCost). O(live) per
+// swap, so debug builds sift at the old complexity — the point is to
+// catch any divergence between the counters and the ground truth.
+const siftCostChecks = true
+
 // goid returns the current goroutine's id by parsing the first line of
 // its stack trace ("goroutine N [running]: ..."). There is no cheaper
 // portable way to obtain it; that is fine for a debug-only assertion.

@@ -7,5 +7,9 @@ package bdd
 // is dead-code-eliminated and the hot paths carry no cost.
 const ownerChecks = false
 
+// siftCostChecks gates the per-swap incremental-cost audit; false in
+// the default build, so the swap path carries no verification cost.
+const siftCostChecks = false
+
 // goid is never called when ownerChecks is false.
 func goid() int64 { return 0 }

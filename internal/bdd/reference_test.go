@@ -1,0 +1,238 @@
+package bdd
+
+// Differential regression for the incremental sifter: referenceSift
+// below is a line-for-line copy of the pre-incremental algorithm —
+// full Size(roots...) re-traversal after every adjacent swap, no
+// interaction-matrix fast path, no lower-bound pruning. The
+// incremental sifter must land every randomized manager on exactly
+// the same final variable order, because the s-graphs and code the
+// synthesis flow derives from the order are pinned byte-for-byte
+// (see the top-level sift golden test).
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// referenceCostRoots mirrors the pre-change costRoots helper.
+func referenceCostRoots(m *Manager, opts SiftOptions) []Node {
+	if opts.Roots != nil {
+		return opts.Roots
+	}
+	roots := make([]Node, 0, len(m.roots))
+	for r := range m.roots {
+		roots = append(roots, r)
+	}
+	return roots
+}
+
+// referenceSift is the pre-incremental Sift. It reuses swapBlockDown
+// (whose underlying swapLevels takes the full path here: the
+// interaction matrix only exists inside a Sift call) but measures
+// cost with a full traversal per swap and explores both directions to
+// their boundaries, exactly as the old implementation did.
+func referenceSift(m *Manager, opts SiftOptions) {
+	if opts.MaxGrowth == 0 {
+		opts.MaxGrowth = 2.0
+	}
+	passes := opts.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	m.gc(opts.Roots)
+	if opts.Precede != nil {
+		m.enforcePrecedence(opts.Precede)
+	}
+	for p := 0; p < passes; p++ {
+		referenceSiftPass(m, opts)
+	}
+	m.gc(opts.Roots)
+}
+
+func referenceSiftPass(m *Manager, opts SiftOptions) {
+	contrib := make(map[int32]int)
+	roots := referenceCostRoots(m, opts)
+	seen := make(map[Node]bool)
+	var count func(n Node)
+	count = func(n Node) {
+		if n.IsConst() || seen[n] {
+			return
+		}
+		seen[n] = true
+		nd := &m.nodes[n]
+		contrib[m.group[nd.v]]++
+		count(nd.lo)
+		count(nd.hi)
+	}
+	for _, r := range roots {
+		count(r)
+	}
+	order := make([]int32, 0, len(contrib))
+	for g := range contrib {
+		order = append(order, g)
+	}
+	sortGroups(order, contrib)
+	for _, gid := range order {
+		referenceSiftBlock(m, gid, roots, opts)
+		if live := m.NumNodes(); live > m.autoGCMin && live > 2*m.liveAfterGC {
+			m.gc(opts.Roots)
+		}
+	}
+}
+
+func sortGroups(order []int32, contrib map[int32]int) {
+	// Insertion sort: descending contribution, ascending gid on ties
+	// (identical to the sort.Slice the old siftPass used).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if contrib[a] > contrib[b] || (contrib[a] == contrib[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+}
+
+func referenceSiftBlock(m *Manager, gid int32, roots []Node, opts SiftOptions) {
+	bs := m.blocks()
+	pos := -1
+	for i, b := range bs {
+		if b.gid == gid {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return
+	}
+	lo, hi := 0, len(bs)-1
+	if opts.Precede != nil {
+		for j := 0; j < pos; j++ {
+			if opts.Precede(bs[j].gid, gid) && j+1 > lo {
+				lo = j + 1
+			}
+		}
+		for j := pos + 1; j < len(bs); j++ {
+			if opts.Precede(gid, bs[j].gid) && j-1 < hi {
+				hi = j - 1
+			}
+		}
+	}
+	cost := func() int { return m.Size(roots...) }
+	startSize := cost()
+	limit := int(float64(startSize) * opts.MaxGrowth)
+	bestSize := startSize
+	bestPos := pos
+	cur := pos
+
+	down := func(stop int) {
+		for cur < stop {
+			m.swapBlockDown(bs, cur)
+			cur++
+			s := cost()
+			if s < bestSize {
+				bestSize, bestPos = s, cur
+			}
+			if s > limit {
+				return
+			}
+		}
+	}
+	up := func(stop int) {
+		for cur > stop {
+			m.swapBlockDown(bs, cur-1)
+			cur--
+			s := cost()
+			if s < bestSize {
+				bestSize, bestPos = s, cur
+			}
+			if s > limit {
+				return
+			}
+		}
+	}
+	if pos-lo < hi-pos {
+		up(lo)
+		down(hi)
+	} else {
+		down(hi)
+		up(lo)
+	}
+	for cur < bestPos {
+		m.swapBlockDown(bs, cur)
+		cur++
+	}
+	for cur > bestPos {
+		m.swapBlockDown(bs, cur-1)
+		cur--
+	}
+}
+
+// TestSiftMatchesReference builds identical randomized managers —
+// grouped variables, several protected functions, optional cost-root
+// subsets and precedence relations, mirroring how the synthesis flow
+// drives Sift — and requires the incremental sifter to reproduce the
+// reference sifter's final order exactly.
+func TestSiftMatchesReference(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(7100 + trial)
+		build := func() (*Manager, SiftOptions) {
+			r := rand.New(rand.NewSource(seed))
+			m := New()
+			vs := newVars(m, 8+r.Intn(6))
+			// Bind a few adjacent pairs into groups, as the
+			// multi-valued encoding does.
+			for i := 0; i+1 < len(vs) && i < 4; i += 2 {
+				if r.Intn(2) == 0 {
+					if err := m.Group(vs[i], vs[i+1]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			var funcs []Node
+			for i := 0; i < 2+r.Intn(3); i++ {
+				f := randomFunc(m, vs[:4+r.Intn(len(vs)-4)], r)
+				m.Protect(f)
+				funcs = append(funcs, f)
+			}
+			opts := SiftOptions{Passes: 1 + r.Intn(2)}
+			// Half the trials measure a strict subset of the
+			// protected functions, as the synthesis flow does with
+			// the characteristic function.
+			if r.Intn(2) == 0 && len(funcs) > 1 {
+				opts.Roots = funcs[:1+r.Intn(len(funcs)-1)]
+			}
+			// A third of the trials add a random precedence relation
+			// on group ids (kept acyclic by ordering on id).
+			if r.Intn(3) == 0 {
+				banned := r.Intn(3) + 1
+				opts.Precede = func(a, b int32) bool {
+					return a < b && int(b-a) <= banned
+				}
+			}
+			return m, opts
+		}
+		m1, opts1 := build()
+		m2, opts2 := build()
+		m1.Sift(opts1)
+		referenceSift(m2, opts2)
+		if got, want := m1.Order(), m2.Order(); !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: incremental sifter order %v, reference order %v", seed, got, want)
+		}
+		if got, want := m1.Size(opts1.Roots...), m2.Size(opts2.Roots...); got != want && opts1.Roots != nil {
+			t.Errorf("seed %d: incremental cost-root size %d, reference %d", seed, got, want)
+		}
+		if err := m1.CheckInvariants(); err != nil {
+			t.Errorf("seed %d: incremental sifter broke invariants: %v", seed, err)
+		}
+		if err := m2.CheckInvariants(); err != nil {
+			t.Errorf("seed %d: reference sifter broke invariants: %v", seed, err)
+		}
+	}
+}

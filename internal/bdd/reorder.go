@@ -7,13 +7,33 @@ import (
 
 // swapLevels exchanges the variables at levels x and x+1 in place.
 // Every node handle continues to denote the same function afterwards
-// (the classical adjacent-variable swap). The operation cache is
-// invalidated by a generation bump — sifting performs thousands of
-// swaps per pass, so this path must not allocate.
-func (m *Manager) swapLevels(x int) {
-	m.Swaps++
+// (the classical adjacent-variable swap). It returns the exact change
+// in the sift cost — the number of nodes reachable from the active
+// cost roots — so siftBlock can track cost incrementally instead of
+// re-traversing the shared DAG after every swap; outside a sift pass
+// the return value is 0. The operation cache is invalidated by a
+// generation bump — sifting performs thousands of swaps per pass, so
+// this path must not allocate.
+//
+// When the interaction matrix proves the two variables share no
+// support, the swap degenerates to a pure relabelling of the order:
+// no node has u above v (or vice versa), so no table is scanned, no
+// node is touched, the cache stays valid, and the cost delta is zero.
+func (m *Manager) swapLevels(x int) int {
 	u := m.invperm[x]
 	v := m.invperm[x+1]
+	if len(m.sift.interact) != 0 && !m.varsInteract(u, v) {
+		m.SwapsSkipped++
+		m.perm[u], m.perm[v] = x+1, x
+		m.invperm[x], m.invperm[x+1] = v, u
+		if siftCostChecks {
+			m.verifySiftCost("fast swap")
+		}
+		return 0
+	}
+	m.Swaps++
+	st := &m.sift
+	sizeBefore := st.size
 
 	// Nodes labelled u that reference a v-labelled child must be
 	// re-expressed with v on top. Collect them first (into a reused
@@ -58,23 +78,27 @@ func (m *Manager) swapLevels(x int) {
 		m.nodes[n].lo = n0
 		m.nodes[n].hi = n1
 		m.unique[v].insert(m.nodes, n0, n1, n)
+		// Cost bookkeeping: n keeps its handle and its parents, so
+		// its own count just moves from u to v; its edges now lead to
+		// (n0, n1) instead of (f0, f1). Add before delete so shared
+		// structure never transits through a spurious death cascade.
+		if st.on && int(n) < len(st.ref) && st.ref[n] > 0 {
+			st.keys[u]--
+			st.keys[v]++
+			m.costRefAdd(n0)
+			m.costRefAdd(n1)
+			m.costRefDel(f0)
+			m.costRefDel(f1)
+		}
 	}
 	m.swapScratch = affected[:0]
 	m.perm[u], m.perm[v] = x+1, x
 	m.invperm[x], m.invperm[x+1] = v, u
 	m.bumpCacheGen()
-}
-
-// costRoots returns the roots the sift cost function measures.
-func (m *Manager) costRoots(opts SiftOptions) []Node {
-	if opts.Roots != nil {
-		return opts.Roots
+	if siftCostChecks {
+		m.verifySiftCost("swap")
 	}
-	roots := make([]Node, 0, len(m.roots))
-	for r := range m.roots {
-		roots = append(roots, r)
-	}
-	return roots
+	return st.size - sizeBefore
 }
 
 // Group binds the given variables into one reordering block. The
@@ -128,24 +152,28 @@ func (m *Manager) blocks() []block {
 	return out
 }
 
-// moveVarUp moves the variable at the given level up by one level.
-func (m *Manager) moveVarUp(level int) { m.swapLevels(level - 1) }
+// moveVarUp moves the variable at the given level up by one level and
+// returns the sift-cost delta.
+func (m *Manager) moveVarUp(level int) int { return m.swapLevels(level - 1) }
 
 // swapBlockDown exchanges blocks[i] with blocks[i+1] by bubbling each
 // variable of the lower block up through the upper block. The slice is
-// updated to reflect the new layout.
-func (m *Manager) swapBlockDown(bs []block, i int) {
+// updated to reflect the new layout. It returns the summed sift-cost
+// delta of the underlying adjacent swaps.
+func (m *Manager) swapBlockDown(bs []block, i int) int {
 	up, down := bs[i], bs[i+1]
+	delta := 0
 	for k := 0; k < down.size; k++ {
 		// The k-th variable of the lower block sits at level
 		// down.start+k and must rise up.size levels; the variables
 		// of the lower block already moved sit above it.
 		for lvl := down.start + k; lvl > up.start+k; lvl-- {
-			m.moveVarUp(lvl)
+			delta += m.moveVarUp(lvl)
 		}
 	}
 	bs[i] = block{gid: down.gid, start: up.start, size: down.size}
 	bs[i+1] = block{gid: up.gid, start: up.start + down.size, size: up.size}
+	return delta
 }
 
 // SiftOptions controls dynamic reordering.
@@ -189,12 +217,33 @@ func (m *Manager) Sift(opts SiftOptions) {
 		passes = 1
 	}
 	m.gc(opts.Roots)
+	// The interaction matrix must cover every function whose nodes
+	// are live — protected roots as well as cost roots — or the
+	// fast-path relabel could corrupt a protected-only diagram. It is
+	// order-invariant, so one build serves precedence enforcement and
+	// every pass.
+	m.sift.roots = m.resolveCostRoots(opts)
+	allRoots := m.sift.roots
+	if opts.Roots != nil {
+		allRoots = make([]Node, 0, len(m.roots)+len(opts.Roots))
+		for r := range m.roots {
+			allRoots = append(allRoots, r)
+		}
+		allRoots = append(allRoots, opts.Roots...)
+	}
+	m.buildInteract(allRoots)
+	defer func() {
+		m.clearInteract()
+		m.sift.on = false
+		m.sift.roots = nil
+	}()
 	if opts.Precede != nil {
 		m.enforcePrecedence(opts.Precede)
 	}
 	for p := 0; p < passes; p++ {
 		m.siftPass(opts)
 	}
+	m.sift.on = false
 	m.gc(opts.Roots)
 }
 
@@ -216,27 +265,28 @@ func (m *Manager) enforcePrecedence(precede func(a, b int32) bool) {
 
 func (m *Manager) siftPass(opts SiftOptions) {
 	m.SiftPasses++
-	// Order blocks by descending live-node contribution.
-	contrib := make(map[int32]int)
-	roots := m.costRoots(opts)
-	seen := make(map[Node]bool)
-	var count func(n Node)
-	count = func(n Node) {
-		if n.IsConst() || seen[n] {
-			return
+	// Pass-start collection: drop the orphans earlier swaps left in
+	// the tables, so table population equals reachable size and the
+	// slot scans in swapLevels stay proportional to live nodes.
+	m.gc(m.sift.roots)
+	m.rebuildSiftCost()
+	m.sift.on = true
+
+	// Order blocks by descending cost contribution, read off the
+	// per-variable counters the rebuild just produced (the previous
+	// implementation re-traversed the DAG through a map[Node]bool —
+	// the last allocating traversal on the sift path).
+	contrib := make([]int, len(m.perm))
+	for v, k := range m.sift.keys {
+		if k > 0 {
+			contrib[m.group[v]] += int(k)
 		}
-		seen[n] = true
-		nd := &m.nodes[n]
-		contrib[m.group[nd.v]]++
-		count(nd.lo)
-		count(nd.hi)
-	}
-	for _, r := range roots {
-		count(r)
 	}
 	order := make([]int32, 0, len(contrib))
-	for g := range contrib {
-		order = append(order, g)
+	for g, c := range contrib {
+		if c > 0 {
+			order = append(order, int32(g))
+		}
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if contrib[order[i]] != contrib[order[j]] {
@@ -250,15 +300,21 @@ func (m *Manager) siftPass(opts SiftOptions) {
 		// nodes, and dead nodes both waste memory and slow the swap
 		// scans. Collect when the dead ratio is high — the arena has
 		// doubled since the last GC — marking the cost roots as extra
-		// roots so unprotected cost functions survive.
+		// roots so unprotected cost functions survive. The collection
+		// recycles arena slots, so the cost counters are rebuilt.
 		if live := m.NumNodes(); live > m.autoGCMin && live > 2*m.liveAfterGC {
-			m.gc(opts.Roots)
+			m.gc(m.sift.roots)
+			m.rebuildSiftCost()
 		}
 	}
 }
 
 // siftBlock moves the block with the given group id through its
-// permitted window and leaves it at the best position found.
+// permitted window and leaves it at the best position found. The cost
+// after each adjacent swap is the incrementally maintained
+// Size(roots...) — an O(1) read of m.sift.size via the deltas the
+// swaps return — and Somenzi-style lower bounds abandon a direction
+// as soon as no remaining position in it can beat the best size seen.
 func (m *Manager) siftBlock(gid int32, opts SiftOptions) {
 	bs := m.blocks()
 	pos := -1
@@ -288,39 +344,94 @@ func (m *Manager) siftBlock(gid int32, opts SiftOptions) {
 			}
 		}
 	}
-	// Resolve the cost roots once: cost() runs after every adjacent
-	// swap, and rebuilding the root list each time allocates in the
-	// hottest loop of the synthesis flow.
-	roots := m.costRoots(opts)
-	cost := func() int { return m.Size(roots...) }
-	startSize := cost()
+	size := m.sift.size
+	startSize := size
 	limit := int(float64(startSize) * opts.MaxGrowth)
 	bestSize := startSize
 	bestPos := pos
 	cur := pos
 
+	// blockInteracts reports whether any variable of a interacts with
+	// any variable of b; a false answer means exchanging the two
+	// blocks is pure relabelling and changes no level's node count.
+	blockInteracts := func(a, b block) bool {
+		for i := a.start; i < a.start+a.size; i++ {
+			for j := b.start; j < b.start+b.size; j++ {
+				if m.varsInteract(m.invperm[i], m.invperm[j]) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// blockKeys sums the cost keys of the block's variables.
+	blockKeys := func(b block) int {
+		s := 0
+		for l := b.start; l < b.start+b.size; l++ {
+			s += int(m.sift.keys[m.invperm[l]])
+		}
+		return s
+	}
+
 	down := func(stop int) {
 		for cur < stop {
-			m.swapBlockDown(bs, cur)
-			cur++
-			s := cost()
-			if s < bestSize {
-				bestSize, bestPos = s, cur
+			// Lower bound: moving the block past a level can shrink
+			// the diagram by at most that level's current keys (its
+			// nodes may all orphan; the created nodes only add), and
+			// the keys of levels not yet passed cannot change until
+			// the block reaches them. If even a total collapse of
+			// every interacting block still below cannot beat the
+			// best size, no position further down can win — stop.
+			if m.sift.on {
+				maxShrink := 0
+				for j := cur + 1; j <= stop; j++ {
+					if blockInteracts(bs[cur], bs[j]) {
+						maxShrink += blockKeys(bs[j])
+					}
+				}
+				if size-maxShrink >= bestSize {
+					m.LBPrunes++
+					return
+				}
 			}
-			if s > limit {
+			size += m.swapBlockDown(bs, cur)
+			cur++
+			m.CostEvals++
+			if size < bestSize {
+				bestSize, bestPos = size, cur
+			}
+			if size > limit {
 				return
 			}
 		}
 	}
 	up := func(stop int) {
 		for cur > stop {
-			m.swapBlockDown(bs, cur-1)
-			cur--
-			s := cost()
-			if s < bestSize {
-				bestSize, bestPos = s, cur
+			// Moving up, a swap's shrink is bounded by the moving
+			// block's own current keys (nodes absorbed from passed
+			// levels relabel one-for-one and survive), so the bound
+			// additionally charges the block itself: everything
+			// below it and every non-interacting level above are
+			// fixed; the rest could at best vanish.
+			if m.sift.on {
+				maxShrink := blockKeys(bs[cur])
+				for j := stop; j < cur; j++ {
+					if blockInteracts(bs[cur], bs[j]) {
+						maxShrink += blockKeys(bs[j])
+					}
+				}
+				if size-maxShrink >= bestSize {
+					m.LBPrunes++
+					return
+				}
 			}
-			if s > limit {
+			size += m.swapBlockDown(bs, cur-1)
+			cur--
+			m.CostEvals++
+			if size < bestSize {
+				bestSize, bestPos = size, cur
+			}
+			if size > limit {
 				return
 			}
 		}

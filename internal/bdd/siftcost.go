@@ -1,0 +1,311 @@
+package bdd
+
+import "fmt"
+
+// Incremental sifting cost. The classical sifter re-measured
+// Size(roots...) — a full DAG traversal — after every adjacent swap,
+// making one block-sift O(swaps × live-nodes). Following CUDD, the
+// swap itself now maintains the cost: siftState tracks, for the
+// duration of one Sift call, how many nodes are reachable from the
+// cost roots in total (size) and per variable (keys), driven by a
+// per-node reference counter over the cost-reachable subgraph.
+//
+// The reference counter is swap-local, not a kernel-wide refcount:
+// it is rebuilt from the cost roots at each pass start (and after the
+// automatic collections between blocks) and updated only by
+// swapLevels. ref[n] counts the edges into n from cost-reachable
+// parents plus the times n occurs in the root list, so ref[n] > 0
+// exactly when n is reachable from the cost roots. This matters
+// because adjacent swaps orphan re-expressed children: the orphans
+// stay in the unique tables until the next collection, and a cost
+// that merely summed table populations would count them and diverge
+// from the Size(roots...) the classical sifter minimised. Tracking
+// reachability keeps the incremental cost byte-identical to the old
+// cost at every step (the bdddebug build asserts this after every
+// swap), so final orderings — and everything synthesized from them —
+// are unchanged.
+//
+// An adjacent swap only changes which nodes are cost-reachable at the
+// two swapped levels: every grandchild cofactor is re-referenced by
+// the re-expressed structure before the old child loses its last
+// reference, so death never cascades past the swapped pair, and a
+// node revived by mk sharing has children that never left the region.
+// That locality is also what makes the lower bounds in siftBlock
+// sound (see reorder.go).
+type siftState struct {
+	on    bool    // cost tracking active (inside a sift pass)
+	roots []Node  // resolved cost roots, fixed for one Sift call
+	ref   []int32 // per-node edge count from the cost-reachable region
+	keys  []int32 // per-Var count of cost-reachable nodes
+	size  int     // total cost-reachable nodes == Size(roots...)
+
+	// interact is the variable interaction matrix: bit u*nv+v is set
+	// when u and v occur together in the support of a live root
+	// function. Two adjacent non-interacting variables can be swapped
+	// by relabelling the order alone — no node has one above the
+	// other — which swapLevels exploits as its O(1) fast path.
+	// Supports are invariant under reordering, so one matrix stays
+	// valid for the whole Sift call.
+	interact []uint64
+	nv       int // NumVars when the matrix was built
+
+	stack []Node // scratch for costRefAdd/costRefDel cascades
+}
+
+// resolveCostRoots returns the roots the sift cost function measures,
+// resolved once per Sift call (building the list from the protected
+// root map on every siftBlock call used to allocate in the hottest
+// loop of the synthesis flow).
+func (m *Manager) resolveCostRoots(opts SiftOptions) []Node {
+	if opts.Roots != nil {
+		return opts.Roots
+	}
+	roots := make([]Node, 0, len(m.roots))
+	for r := range m.roots {
+		roots = append(roots, r)
+	}
+	return roots
+}
+
+// rebuildSiftCost recomputes ref, keys and size from the cost roots.
+// Called at pass start and after each collection inside a pass (GC
+// frees swap orphans and recycles their arena slots, so stale
+// counters cannot be trusted across it).
+func (m *Manager) rebuildSiftCost() {
+	st := &m.sift
+	if cap(st.ref) < len(m.nodes) {
+		st.ref = make([]int32, len(m.nodes))
+	} else {
+		st.ref = st.ref[:len(m.nodes)]
+		for i := range st.ref {
+			st.ref[i] = 0
+		}
+	}
+	if cap(st.keys) < len(m.perm) {
+		st.keys = make([]int32, len(m.perm))
+	} else {
+		st.keys = st.keys[:len(m.perm)]
+		for i := range st.keys {
+			st.keys[i] = 0
+		}
+	}
+	st.size = 0
+	for _, r := range st.roots {
+		m.costRefAdd(r)
+	}
+}
+
+// costRefAdd records one new reference into the cost-reachable region:
+// an edge from a counted parent, or one occurrence in the root list.
+// A node entering the region (0 → 1) starts being counted and
+// propagates one reference to each of its children; the cascade is
+// iterative on a reused stack, so the hot swap path never recurses or
+// allocates.
+func (m *Manager) costRefAdd(n Node) {
+	if n.IsConst() {
+		return
+	}
+	st := &m.sift
+	stack := append(st.stack[:0], n)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// mk may have grown the arena past the rebuilt counter array;
+		// fresh slots start unreferenced.
+		for int(w) >= len(st.ref) {
+			st.ref = append(st.ref, 0)
+		}
+		st.ref[w]++
+		if st.ref[w] == 1 {
+			nd := &m.nodes[w]
+			st.keys[nd.v]++
+			st.size++
+			if !nd.lo.IsConst() {
+				stack = append(stack, nd.lo)
+			}
+			if !nd.hi.IsConst() {
+				stack = append(stack, nd.hi)
+			}
+		}
+	}
+	st.stack = stack[:0]
+}
+
+// costRefDel removes one reference; a node leaving the region
+// (1 → 0) stops being counted and withdraws its references from its
+// children. The node itself stays in its unique table as an orphan
+// until the next collection — cost tracking is deliberately
+// independent of table population.
+func (m *Manager) costRefDel(n Node) {
+	if n.IsConst() {
+		return
+	}
+	st := &m.sift
+	stack := append(st.stack[:0], n)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.ref[w]--
+		if st.ref[w] == 0 {
+			nd := &m.nodes[w]
+			st.keys[nd.v]--
+			st.size--
+			if !nd.lo.IsConst() {
+				stack = append(stack, nd.lo)
+			}
+			if !nd.hi.IsConst() {
+				stack = append(stack, nd.hi)
+			}
+		}
+	}
+	st.stack = stack[:0]
+}
+
+// buildInteract computes the interaction matrix from the supports of
+// the given roots. The roots must cover every function whose nodes
+// can appear in the unique tables during the Sift call — the
+// protected roots as well as the cost roots — because the fast-path
+// relabel in swapLevels is only sound when *no* live node has the
+// upper variable above the lower one. (A variable pair missing from
+// every cost support but present in a protected-only function would
+// otherwise be corrupted.) Every table node denotes a cofactor of
+// some root function, and cofactor supports are subsets of root
+// supports, so pairwise support membership is a sound
+// over-approximation for the whole call, including swap orphans.
+func (m *Manager) buildInteract(roots []Node) {
+	st := &m.sift
+	nv := len(m.perm)
+	st.nv = nv
+	words := (nv*nv + 63) / 64
+	if cap(st.interact) < words {
+		st.interact = make([]uint64, words)
+	} else {
+		st.interact = st.interact[:words]
+		for i := range st.interact {
+			st.interact[i] = 0
+		}
+	}
+	inSup := make([]bool, nv)
+	sup := make([]Var, 0, nv)
+	for _, r := range roots {
+		if r.IsConst() {
+			continue
+		}
+		sup = sup[:0]
+		gen := m.visitEpoch()
+		stack := append(m.markStack[:0], r)
+		m.visited[r] = gen
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nd := &m.nodes[n]
+			if !inSup[nd.v] {
+				inSup[nd.v] = true
+				sup = append(sup, nd.v)
+			}
+			if lo := nd.lo; !lo.IsConst() && m.visited[lo] != gen {
+				m.visited[lo] = gen
+				stack = append(stack, lo)
+			}
+			if hi := nd.hi; !hi.IsConst() && m.visited[hi] != gen {
+				m.visited[hi] = gen
+				stack = append(stack, hi)
+			}
+		}
+		m.markStack = stack[:0]
+		for i, u := range sup {
+			for _, v := range sup[i+1:] {
+				m.setInteract(u, v)
+			}
+			inSup[u] = false
+		}
+	}
+}
+
+// clearInteract drops the matrix when Sift returns: operations run
+// after sifting can create functions with new variable pairings,
+// which would invalidate the fast-path soundness argument.
+func (m *Manager) clearInteract() {
+	m.sift.interact = m.sift.interact[:0]
+}
+
+func (m *Manager) setInteract(u, v Var) {
+	i := int(u)*m.sift.nv + int(v)
+	j := int(v)*m.sift.nv + int(u)
+	m.sift.interact[i>>6] |= 1 << (uint(i) & 63)
+	m.sift.interact[j>>6] |= 1 << (uint(j) & 63)
+}
+
+// varsInteract reports whether u and v interact; with no matrix built
+// it conservatively answers true (full swap).
+func (m *Manager) varsInteract(u, v Var) bool {
+	st := &m.sift
+	if len(st.interact) == 0 {
+		return true
+	}
+	i := int(u)*st.nv + int(v)
+	return st.interact[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// verifySiftCost recomputes the cost from scratch and panics on any
+// divergence from the incrementally maintained counters. Compiled
+// only under the bdddebug build tag (siftCostChecks), where it runs
+// after every adjacent swap: the incremental cost must equal
+// Size(roots...) at all times, or final orderings could silently
+// drift from the reference sifter.
+func (m *Manager) verifySiftCost(where string) {
+	st := &m.sift
+	if !st.on {
+		return
+	}
+	keys := make([]int32, len(m.perm))
+	size := 0
+	seen := make(map[Node]bool)
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n.IsConst() || seen[n] {
+			return
+		}
+		seen[n] = true
+		nd := &m.nodes[n]
+		keys[nd.v]++
+		size++
+		walk(nd.lo)
+		walk(nd.hi)
+	}
+	for _, r := range st.roots {
+		walk(r)
+	}
+	if size != st.size {
+		panic(fmt.Sprintf("bdd: %s: incremental sift cost %d != Size(roots...) %d", where, st.size, size))
+	}
+	for v := range keys {
+		if keys[v] != st.keys[v] {
+			panic(fmt.Sprintf("bdd: %s: incremental keys[%s] = %d, reachable count %d",
+				where, m.names[v], st.keys[v], keys[v]))
+		}
+	}
+	// Reference-count audit: ref[n] must equal the number of edges
+	// into n from counted nodes plus n's occurrences in the root
+	// list, and must be zero outside the region.
+	want := make(map[Node]int32)
+	for n := range seen {
+		nd := &m.nodes[n]
+		if !nd.lo.IsConst() {
+			want[nd.lo]++
+		}
+		if !nd.hi.IsConst() {
+			want[nd.hi]++
+		}
+	}
+	for _, r := range st.roots {
+		if !r.IsConst() {
+			want[r]++
+		}
+	}
+	for i := range st.ref {
+		if st.ref[i] != want[Node(i)] {
+			panic(fmt.Sprintf("bdd: %s: ref[%d] = %d, want %d", where, i, st.ref[i], want[Node(i)]))
+		}
+	}
+}

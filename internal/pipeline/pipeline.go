@@ -151,6 +151,7 @@ func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 	mgr := r.Space.M
 	tr.Event(Event{Kind: EvBDD, Module: m.Name,
 		PeakNodes: mgr.PeakNodes, SiftSwaps: mgr.Swaps, SiftPasses: mgr.SiftPasses,
+		SiftSwapsSkipped: mgr.SwapsSkipped, SiftLBPrunes: mgr.LBPrunes,
 		CacheHits: mgr.Hits, CacheMisses: mgr.Misses,
 		CacheResets: mgr.CacheResets, CacheEvictions: mgr.Evictions})
 

@@ -62,9 +62,10 @@ const (
 	// EvStage reports one finished stage of one module.
 	EvStage
 	// EvBDD reports the module's BDD statistics after s-graph
-	// construction: peak live nodes, sift swaps, sift passes, and the
-	// kernel's lossy operation-cache counters (hits, misses, resets,
-	// evictions).
+	// construction: peak live nodes, sift swaps (plus swaps skipped by
+	// the interaction-matrix fast path and block positions discarded
+	// by lower-bound pruning), sift passes, and the kernel's lossy
+	// operation-cache counters (hits, misses, resets, evictions).
 	EvBDD
 	// EvCacheHit and EvCacheMiss report artifact-cache lookups.
 	EvCacheHit
@@ -88,6 +89,13 @@ type Event struct {
 	PeakNodes  int // EvBDD
 	SiftSwaps  int // EvBDD
 	SiftPasses int // EvBDD
+	// Sifting pruning counters (EvBDD): adjacent swaps resolved by the
+	// interaction-matrix permutation fast path without touching the
+	// unique tables, and candidate block positions skipped because the
+	// support-based lower bound proved they could not beat the best
+	// size seen so far.
+	SiftSwapsSkipped int
+	SiftLBPrunes     int
 	// Operation-cache counters of the module's BDD manager (EvBDD).
 	// The cache is lossy and generation-stamped: resets count actual
 	// reallocations (growth), evictions count colliding overwrites.
@@ -126,10 +134,12 @@ type Collector struct {
 	stageMax   [numStages]time.Duration
 	stageCount [numStages]int
 
-	peakNodes  int    // max over modules
-	peakModule string // module attaining peakNodes
-	siftSwaps  int
-	siftPasses int
+	peakNodes    int    // max over modules
+	peakModule   string // module attaining peakNodes
+	siftSwaps    int
+	siftSkipped  int
+	siftLBPrunes int
+	siftPasses   int
 
 	bddHits, bddMisses, bddResets, bddEvicts int
 
@@ -166,6 +176,8 @@ func (c *Collector) Event(e Event) {
 			c.peakModule = e.Module
 		}
 		c.siftSwaps += e.SiftSwaps
+		c.siftSkipped += e.SiftSwapsSkipped
+		c.siftLBPrunes += e.SiftLBPrunes
 		c.siftPasses += e.SiftPasses
 		c.bddHits += e.CacheHits
 		c.bddMisses += e.CacheMisses
@@ -227,8 +239,8 @@ func (c *Collector) Report() string {
 			s, round(c.stageTotal[s]), round(c.stageMax[s]), round(mean), c.stageCount[s])
 	}
 	if c.peakNodes > 0 {
-		fmt.Fprintf(&b, "  bdd: peak %d live nodes (%s), %d sift swaps, %d passes\n",
-			c.peakNodes, c.peakModule, c.siftSwaps, c.siftPasses)
+		fmt.Fprintf(&b, "  bdd: peak %d live nodes (%s), %d sift swaps (%d skipped), %d passes, %d lb-prunes\n",
+			c.peakNodes, c.peakModule, c.siftSwaps, c.siftSkipped, c.siftPasses, c.siftLBPrunes)
 	}
 	if tot := c.bddHits + c.bddMisses; tot > 0 {
 		fmt.Fprintf(&b, "  bdd op-cache: %d hit(s), %d miss(es) (%.1f%% hit rate), %d reset(s), %d eviction(s)\n",

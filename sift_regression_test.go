@@ -1,0 +1,142 @@
+package polis
+
+// Sifting regression gate: the final variable orders and the
+// synthesized artifacts on a matrix of randcfsm-generated designs are
+// pinned in testdata/sift_golden.json. The goldens were recorded with
+// the pre-incremental (full-Size-per-swap) sifter, so any change to
+// the reordering engine — per-level counters, interaction-matrix fast
+// paths, lower-bound pruning — must reproduce its results byte for
+// byte. Regenerate deliberately with `go test -run SiftGolden -update`.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"polis/internal/cfsm"
+	"polis/internal/codegen"
+	"polis/internal/randcfsm"
+	"polis/internal/sgraph"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// siftGoldenRecord pins one (seed, module, ordering) synthesis result.
+type siftGoldenRecord struct {
+	Seed     int64  `json:"seed"`
+	Module   string `json:"module"`
+	Ordering string `json:"ordering"`
+	Order    string `json:"order"`  // final variable order, top to bottom
+	ChiSize  int    `json:"chi"`    // BDD size of the characteristic function
+	Vertices int    `json:"verts"`  // s-graph vertices
+	CHash    string `json:"c_hash"` // sha256 of the generated C routine
+}
+
+func siftGoldenRun(t *testing.T) []siftGoldenRecord {
+	t.Helper()
+	orderings := []struct {
+		name string
+		ord  sgraph.Ordering
+	}{
+		{"inputs-first", sgraph.OrderSiftInputsFirst},
+		{"after-support", sgraph.OrderSiftAfterSupport},
+	}
+	var out []siftGoldenRecord
+	for _, seed := range []int64{7, 19, 23, 101, 424242} {
+		net, _, err := randcfsm.NewNetwork(rand.New(rand.NewSource(seed)), 4, randcfsm.Config{
+			MaxInputs:      5,
+			MaxOutputs:     4,
+			MaxControlVars: 3,
+			MaxDataVars:    3,
+			MaxTransitions: 20,
+			ValueRange:     6,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, mod := range net.Machines {
+			for _, o := range orderings {
+				r, err := cfsm.BuildReactive(mod)
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, mod.Name, err)
+				}
+				if err := sgraph.ApplyOrdering(r, o.ord); err != nil {
+					t.Fatalf("seed %d %s: %v", seed, mod.Name, err)
+				}
+				g, err := sgraph.FromChi(r)
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, mod.Name, err)
+				}
+				m := r.Space.M
+				order := ""
+				for lvl, v := range m.Order() {
+					if lvl > 0 {
+						order += " "
+					}
+					order += m.VarName(v)
+				}
+				sum := sha256.Sum256([]byte(codegen.EmitC(g, codegen.Options{})))
+				out = append(out, siftGoldenRecord{
+					Seed:     seed,
+					Module:   mod.Name,
+					Ordering: o.name,
+					Order:    order,
+					ChiSize:  m.Size(r.Chi),
+					Vertices: g.ComputeStats().Vertices,
+					CHash:    hex.EncodeToString(sum[:]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TestSiftGoldenOrders asserts that sifting still produces exactly the
+// orders and artifacts the pre-incremental sifter produced.
+func TestSiftGoldenOrders(t *testing.T) {
+	got := siftGoldenRun(t)
+	path := filepath.Join("testdata", "sift_golden.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d records)", path, len(got))
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to record): %v", err)
+	}
+	var want []siftGoldenRecord
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden has %d records, run produced %d", len(want), len(got))
+	}
+	mismatches := 0
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("record %d diverged from pre-change sifter:\n want %+v\n  got %+v", i, want[i], got[i])
+			}
+		}
+	}
+	if mismatches > 5 {
+		t.Errorf("... and %d further mismatches", mismatches-5)
+	}
+}
