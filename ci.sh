@@ -1,7 +1,9 @@
 #!/bin/sh
 # CI gate: vet, build, the full test suite, the race detector (the
 # pipeline runs per-CFSM synthesis on concurrent workers), the bdd
-# ownership checks enabled under the bdddebug build tag, and a
+# ownership checks enabled under the bdddebug build tag, a bounded
+# co-simulation fuzz smoke (fixed seeds, so failures are replayable
+# with the printed `polisc fuzz -seed ... -config ...` line), and a
 # single-iteration benchmark smoke so the harness can't bit-rot.
 set -eux
 
@@ -10,4 +12,5 @@ go build ./...
 go test ./...
 go test -race ./...
 go test -tags bdddebug ./internal/bdd/
+NETFUZZ_RUNS=400 go test -race -run TestFuzzCampaignRandom ./internal/netfuzz/
 ./bench.sh

@@ -140,8 +140,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if err := sim.WriteTraceCSV(f, res.Trace); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		// A failed Close loses buffered rows; it must be as fatal as a
+		// failed write.
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Println("trace written to", *csvPath)

@@ -8,6 +8,14 @@
 //	polisc [-target hc11|r3k] [-order default|naive|inputs-first]
 //	       [-j N] [-cache dir] [-stats]
 //	       [-c] [-asm] [-dot] [-optimize-copies] [-o dir] [file.strl]
+//	polisc fuzz [-seed N] [-runs N] [-config "k=v,..."]
+//
+// The fuzz subcommand runs the network-scale co-simulation fuzz
+// harness (internal/netfuzz): randomized GALS networks simulated in
+// both behavioral and cycle-exact mode under differential invariants.
+// Without -config each seed draws its own scenario shape; with
+// -config the exact scenario replays, which is how a failure printed
+// as "polisc fuzz -seed N -config ..." is reproduced.
 //
 // A source file may contain several modules: same-named signals
 // connect them into a network, each module is synthesized separately
@@ -34,6 +42,7 @@ import (
 	"polis/internal/codegen"
 	"polis/internal/esterel"
 	"polis/internal/estimate"
+	"polis/internal/netfuzz"
 	"polis/internal/pipeline"
 	"polis/internal/rtos"
 	"polis/internal/sgraph"
@@ -62,6 +71,9 @@ func main() {
 // run is the whole driver; split from main so tests can execute it
 // with captured output and compare runs across flag sets.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "fuzz" {
+		return runFuzz(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("polisc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	target := fs.String("target", "hc11", "cost profile: hc11 or r3k")
@@ -110,7 +122,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt.Codegen.OptimizeCopies = *optCopies
 
 	if *showParams {
-		fmt.Fprint(stdout, estimate.Calibrate(opt.Target).Format())
+		params, err := estimate.Calibrate(opt.Target)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprint(stdout, params.Format())
 		return 0
 	}
 
@@ -180,6 +196,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		fmt.Fprint(stdout, col.Report())
+	}
+	return 0
+}
+
+// runFuzz drives the co-simulation fuzz harness: a seeded campaign of
+// randomized scenarios, or an exact replay when -config is given.
+func runFuzz(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("polisc fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "first seed of the campaign (or the seed to replay)")
+	runs := fs.Int("runs", 100, "number of consecutive seeds to run")
+	cfgStr := fs.String("config", "", `fixed scenario "k=v,..." (empty: randomized shape per seed)`)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var cfg netfuzz.Config
+	randomize := *cfgStr == ""
+	if !randomize {
+		var err error
+		cfg, err = netfuzz.Parse(*cfgStr)
+		if err != nil {
+			return fail(stderr, err)
+		}
+	}
+	res := netfuzz.Campaign(*seed, *runs, cfg, randomize, stdout)
+	fmt.Fprintf(stdout, "fuzz: %d runs, %d strict comparisons, %d failures\n",
+		res.Runs, res.Strict, len(res.Failures))
+	if len(res.Failures) > 0 {
+		return 1
 	}
 	return 0
 }

@@ -46,7 +46,10 @@ func main() {
 		fmt.Print(experiments.FormatTable1(prof, rows))
 	case "shock":
 		s := designs.NewShockAbsorber()
-		params := estimate.Calibrate(prof)
+		params, err := estimate.Calibrate(prof)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("Cost/performance estimation, shock absorber, target %s\n", prof.Name)
 		fmt.Printf("%-16s %9s %9s %9s %9s\n", "CFSM", "est size", "act size", "est max", "act max")
 		for _, m := range s.Modules() {

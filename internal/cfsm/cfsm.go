@@ -355,7 +355,13 @@ type Emission struct {
 
 // Reaction is the result of one CFSM execution.
 type Reaction struct {
-	Fired     bool // whether some transition matched
+	// Fired reports whether any action executed. The synthesized forms
+	// of the machine (reactive function, s-graph, object code) encode a
+	// reaction purely as action flags, so a matched transition with an
+	// empty action list is indistinguishable from no match there; the
+	// reference interpreter uses the same definition so that all
+	// implementations agree on event consumption (Section IV-D).
+	Fired     bool
 	Emitted   []Emission
 	NextState map[*StateVar]int64
 }
@@ -363,9 +369,11 @@ type Reaction struct {
 // React executes one reaction under the given snapshot: the unique
 // matching transition fires. All expression reads see the pre-reaction
 // state (the paper's copy-on-entry semantics), so assignment order
-// within a transition is immaterial. If no transition matches, Fired
-// is false, no events are emitted and the state is unchanged (the RTOS
-// then preserves the input events for the next execution).
+// within a transition is immaterial. If no transition matches — or the
+// matching transition performs no actions, which the synthesized forms
+// cannot distinguish — Fired is false, no events are emitted and the
+// state is unchanged (the RTOS then preserves the input events for the
+// next execution).
 func (c *CFSM) React(snap Snapshot) Reaction {
 	next := make(map[*StateVar]int64, len(snap.State))
 	for v, val := range snap.State {
@@ -384,7 +392,7 @@ func (c *CFSM) React(snap Snapshot) Reaction {
 		if !match {
 			continue
 		}
-		r.Fired = true
+		r.Fired = len(tr.Actions) > 0
 		for _, a := range tr.Actions {
 			switch a.Kind {
 			case ActEmit:

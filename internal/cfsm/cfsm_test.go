@@ -327,3 +327,37 @@ func TestCareSet(t *testing.T) {
 		t.Error("care set must exclude mutually exclusive tests both true")
 	}
 }
+
+// TestActionlessTransitionDoesNotFire pins the Fired semantics shared
+// with the synthesized forms: the reactive function, s-graph and
+// object code encode a reaction purely as action flags, so a matched
+// transition with no actions must not count as fired in the reference
+// either — otherwise behavioral and VM co-simulation diverge on event
+// consumption (found by the netfuzz harness).
+func TestActionlessTransitionDoesNotFire(t *testing.T) {
+	c := New("idle")
+	in := c.AddInput("x", true)
+	y := c.AddOutput("y", true)
+	s := c.AddState("s", 2, 0)
+
+	px := c.Present(in)
+	sel := c.Sel(s)
+	// In state 0 the event is silently ignored: matched, no actions.
+	c.AddTransition([]Cond{On(px, 1), On(sel, 0)})
+	c.AddTransition([]Cond{On(px, 1), On(sel, 1)}, c.Emit(y))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := c.NewSnapshot()
+	snap.Present[in] = true
+	r := c.React(snap)
+	if r.Fired {
+		t.Errorf("action-less transition reported fired; the compiled forms cannot express that")
+	}
+	snap.State[s] = 1
+	r = c.React(snap)
+	if !r.Fired || len(r.Emitted) != 1 {
+		t.Errorf("acting transition must fire: %+v", r)
+	}
+}

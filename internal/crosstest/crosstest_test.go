@@ -22,6 +22,17 @@ import (
 	"polis/internal/baseline"
 )
 
+// mustCalibrate calibrates a built-in profile, failing the test on a
+// calibration error.
+func mustCalibrate(t *testing.T, prof *vm.Profile) *estimate.Params {
+	t.Helper()
+	p, err := estimate.Calibrate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // reactionKey canonicalises a reaction for comparison: emissions as a
 // sorted multiset plus the next state.
 func reactionKey(m *cfsm.CFSM, r cfsm.Reaction) string {
@@ -231,7 +242,7 @@ func TestEstimatorBracketsMeasurement(t *testing.T) {
 		machines = 8
 	}
 	for _, prof := range []*vm.Profile{vm.HC11(), vm.R3K()} {
-		params := estimate.Calibrate(prof)
+		params := mustCalibrate(t, prof)
 		for mi := 0; mi < machines; mi++ {
 			gen := randcfsm.New(rng, randcfsm.DefaultConfig())
 			m := gen.C

@@ -1,6 +1,8 @@
 package estimate
 
 import (
+	"fmt"
+
 	"polis/internal/expr"
 	"polis/internal/vm"
 )
@@ -13,7 +15,12 @@ import (
 // out of the profile tables directly, so a divergence between the
 // generator's real patterns and the calibration fragments shows up as
 // estimation error exactly as it would on real hardware.
-func Calibrate(prof *vm.Profile) *Params {
+//
+// A profile whose cost tables cannot assemble or analyze the
+// calibration fragments is reported as an error rather than a panic,
+// so a corrupt calibration source is a diagnosable failure for
+// callers that load profiles from configuration.
+func Calibrate(prof *vm.Profile) (*Params, error) {
 	p := &Params{
 		Target:    prof,
 		ExprOpCyc: make(map[expr.Op]int64),
@@ -24,13 +31,38 @@ func Calibrate(prof *vm.Profile) *Params {
 		ClockKHz:  prof.ClockKHz,
 	}
 
+	// Fragment assembly failures are latched and reported once at the
+	// end; zero-valued measurements from a failed fragment are never
+	// returned to the caller.
+	var ferr error
+	mk := func(instrs ...vm.Instr) fragResult {
+		if ferr != nil {
+			return fragResult{}
+		}
+		fr, err := frag(prof, instrs...)
+		if err != nil {
+			ferr = err
+		}
+		return fr
+	}
+	mkJ := func(n int) fragResult {
+		if ferr != nil {
+			return fragResult{}
+		}
+		fr, err := jtabFrag(prof, n)
+		if err != nil {
+			ferr = err
+		}
+		return fr
+	}
+
 	// The bare routine skeleton: just the HALT return.
-	halt := frag(prof)
+	halt := mk()
 	p.CallReturnCyc = halt.fallCyc
 	p.CallReturnSz = halt.bytes
 
 	// Presence TEST: RTOS presence call plus conditional branch.
-	fr := frag(prof,
+	fr := mk(
 		vm.Instr{Op: vm.SVC, Num: vm.SvcPresent},
 		vm.Instr{Op: vm.BRNZ, Rs: 0, Label: "end"},
 	)
@@ -39,27 +71,27 @@ func Calibrate(prof *vm.Profile) *Params {
 	p.TestPresenceSz = fr.bytes - halt.bytes
 
 	// Boolean predicate branch (on top of the predicate expression).
-	fb := frag(prof, vm.Instr{Op: vm.BRNZ, Rs: 1, Label: "end"})
+	fb := mk(vm.Instr{Op: vm.BRNZ, Rs: 1, Label: "end"})
 	p.TestBoolCyc[0] = fb.fallCyc - halt.fallCyc
 	p.TestBoolCyc[1] = fb.takenCyc - halt.fallCyc
 	p.TestBoolSz = fb.bytes - halt.bytes
 
 	// Selector state load.
-	fl := frag(prof, vm.Instr{Op: vm.LD, Rd: 1, Addr: 0})
+	fl := mk(vm.Instr{Op: vm.LD, Rd: 1, Addr: 0})
 	p.TestSelLoadCyc = fl.fallCyc - halt.fallCyc
 	p.TestSelLoadSz = fl.bytes - halt.bytes
 
 	// Multi-way dispatch: JTAB tables of 2 and 4 entries give the
 	// a + b*i timing model and the per-entry table bytes.
-	j2 := jtabFrag(prof, 2)
-	j4 := jtabFrag(prof, 4)
+	j2 := mkJ(2)
+	j4 := mkJ(4)
 	p.TestMultiBaseCyc = j2.minCyc - halt.fallCyc
 	p.TestMultiPerEdgeCyc = j2.takenCyc - j2.minCyc // cost per index step
 	p.TestMultiPerSz = (j4.bytes - j2.bytes) / 2
 	p.TestMultiBaseSz = j2.bytes - halt.bytes - 2*p.TestMultiPerSz
 
 	// Index accumulation step for collapsed tests.
-	fi := frag(prof,
+	fi := mk(
 		vm.Instr{Op: vm.LDI, Rd: 3, Imm: 2},
 		vm.Instr{Op: vm.ALU, AOp: expr.OpMul, Rd: 2, Rs: 3},
 		vm.Instr{Op: vm.ALU, AOp: expr.OpAdd, Rd: 2, Rs: 1},
@@ -68,30 +100,30 @@ func Calibrate(prof *vm.Profile) *Params {
 	p.TestIdxStepSz = fi.bytes - halt.bytes
 
 	// Emissions (RTOS calls).
-	fe := frag(prof, vm.Instr{Op: vm.SVC, Num: vm.SvcEmit})
+	fe := mk(vm.Instr{Op: vm.SVC, Num: vm.SvcEmit})
 	p.AssignEmitCyc = fe.fallCyc - halt.fallCyc
 	p.AssignEmitSz = fe.bytes - halt.bytes
 	p.AssignEmitValuedCyc = p.AssignEmitCyc
 	p.AssignEmitVSz = p.AssignEmitSz
 
 	// State store.
-	fs := frag(prof, vm.Instr{Op: vm.ST, Addr: 0, Rs: 1})
+	fs := mk(vm.Instr{Op: vm.ST, Addr: 0, Rs: 1})
 	p.AssignStoreCyc = fs.fallCyc - halt.fallCyc
 	p.AssignStoreSz = fs.bytes - halt.bytes
 
 	// Unconditional branch (goto).
-	fg := frag(prof, vm.Instr{Op: vm.JMP, Label: "end"})
+	fg := mk(vm.Instr{Op: vm.JMP, Label: "end"})
 	p.GotoCyc = fg.fallCyc - halt.fallCyc
 	p.GotoSz = fg.bytes - halt.bytes
 
 	// Copy-on-entry of a state variable, and input-value fetch.
-	fc := frag(prof,
+	fc := mk(
 		vm.Instr{Op: vm.LD, Rd: 1, Addr: 0},
 		vm.Instr{Op: vm.ST, Addr: 1, Rs: 1},
 	)
 	p.LocalCopyCyc = fc.fallCyc - halt.fallCyc
 	p.LocalCopySz = fc.bytes - halt.bytes
-	fv := frag(prof,
+	fv := mk(
 		vm.Instr{Op: vm.SVC, Num: vm.SvcValue},
 		vm.Instr{Op: vm.ST, Addr: 0, Rs: 0},
 	)
@@ -99,19 +131,19 @@ func Calibrate(prof *vm.Profile) *Params {
 	p.ValueFetchSz = fv.bytes - halt.bytes
 
 	// Expression operands and operators.
-	fk := frag(prof, vm.Instr{Op: vm.LDI, Rd: 1, Imm: 1})
+	fk := mk(vm.Instr{Op: vm.LDI, Rd: 1, Imm: 1})
 	p.ExprConstCyc = fk.fallCyc - halt.fallCyc
 	p.ExprConstSz = fk.bytes - halt.bytes
-	fr2 := frag(prof, vm.Instr{Op: vm.LD, Rd: 1, Addr: 0})
+	fr2 := mk(vm.Instr{Op: vm.LD, Rd: 1, Addr: 0})
 	p.ExprRefCyc = fr2.fallCyc - halt.fallCyc
 	p.ExprRefSz = fr2.bytes - halt.bytes
-	fu := frag(prof, vm.Instr{Op: vm.NEG, Rd: 1})
+	fu := mk(vm.Instr{Op: vm.NEG, Rd: 1})
 	p.ExprUnaryCyc = fu.fallCyc - halt.fallCyc
 
 	// Library table: each binary operator lowers to the spill schema
 	// ST/LD/ALU/MOV around its operands.
 	for op := expr.Op(0); op < expr.Op(expr.NumOps()); op++ {
-		fo := frag(prof,
+		fo := mk(
 			vm.Instr{Op: vm.ST, Addr: 0, Rs: 1},
 			vm.Instr{Op: vm.LD, Rd: 2, Addr: 0},
 			vm.Instr{Op: vm.ALU, AOp: op, Rd: 2, Rs: 1},
@@ -120,7 +152,10 @@ func Calibrate(prof *vm.Profile) *Params {
 		p.ExprOpCyc[op] = fo.fallCyc - halt.fallCyc
 		p.ExprOpSz[op] = fo.bytes - halt.bytes
 	}
-	return p
+	if ferr != nil {
+		return nil, ferr
+	}
+	return p, nil
 }
 
 // fragResult carries the measurements of one sample fragment.
@@ -135,7 +170,7 @@ type fragResult struct {
 // it statically on the profile. For fragments with one conditional
 // branch to "end", the fall-through path and the taken path bracket
 // the two edge costs.
-func frag(prof *vm.Profile, instrs ...vm.Instr) fragResult {
+func frag(prof *vm.Profile, instrs ...vm.Instr) (fragResult, error) {
 	p := vm.NewProgram("frag")
 	p.Alloc("t0")
 	p.Alloc("t1")
@@ -145,11 +180,11 @@ func frag(prof *vm.Profile, instrs ...vm.Instr) fragResult {
 	_ = p.Mark("end")
 	p.Emit(vm.Instr{Op: vm.HALT})
 	if err := p.Resolve(); err != nil {
-		panic("estimate: bad calibration fragment: " + err.Error())
+		return fragResult{}, fmt.Errorf("estimate: bad calibration fragment: %w", err)
 	}
 	pc, err := vm.AnalyzeCycles(prof, p, "")
 	if err != nil {
-		panic("estimate: calibration analysis failed: " + err.Error())
+		return fragResult{}, fmt.Errorf("estimate: calibration analysis failed: %w", err)
 	}
 	res := fragResult{
 		minCyc:   pc.Min,
@@ -163,7 +198,7 @@ func frag(prof *vm.Profile, instrs ...vm.Instr) fragResult {
 	} else {
 		res.fallCyc = pc.Max
 	}
-	return res
+	return res, nil
 }
 
 func hasBranch(instrs []vm.Instr) bool {
@@ -178,7 +213,7 @@ func hasBranch(instrs []vm.Instr) bool {
 
 // jtabFrag measures a JTAB dispatch with n entries. takenCyc reports
 // the cost at index 1 so the per-index increment can be derived.
-func jtabFrag(prof *vm.Profile, n int) fragResult {
+func jtabFrag(prof *vm.Profile, n int) (fragResult, error) {
 	p := vm.NewProgram("jt")
 	table := make([]string, n)
 	for i := range table {
@@ -188,11 +223,11 @@ func jtabFrag(prof *vm.Profile, n int) fragResult {
 	_ = p.Mark("end")
 	p.Emit(vm.Instr{Op: vm.HALT})
 	if err := p.Resolve(); err != nil {
-		panic("estimate: bad jtab fragment: " + err.Error())
+		return fragResult{}, fmt.Errorf("estimate: bad jtab fragment: %w", err)
 	}
 	pc, err := vm.AnalyzeCycles(prof, p, "")
 	if err != nil {
-		panic("estimate: jtab analysis failed: " + err.Error())
+		return fragResult{}, fmt.Errorf("estimate: jtab analysis failed: %w", err)
 	}
 	perStep := int64(0)
 	if n > 1 {
@@ -203,5 +238,5 @@ func jtabFrag(prof *vm.Profile, n int) fragResult {
 		fallCyc:  pc.Min,
 		takenCyc: pc.Min + perStep,
 		bytes:    int64(prof.CodeSize(p)),
-	}
+	}, nil
 }

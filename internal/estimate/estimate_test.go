@@ -63,9 +63,20 @@ func buildSG(t *testing.T, c *cfsm.CFSM) *sgraph.SGraph {
 	return g
 }
 
+// mustCalibrate calibrates a known-good built-in profile; failure is a
+// test bug, not a scenario under test.
+func mustCalibrate(t *testing.T, prof *vm.Profile) *Params {
+	t.Helper()
+	p, err := Calibrate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestCalibrateSane(t *testing.T) {
 	for _, prof := range []*vm.Profile{vm.HC11(), vm.R3K()} {
-		p := Calibrate(prof)
+		p := mustCalibrate(t, prof)
 		checks := map[string]int64{
 			"TestPresenceCyc0": p.TestPresenceCyc[0],
 			"TestPresenceCyc1": p.TestPresenceCyc[1],
@@ -102,7 +113,7 @@ func TestCalibrateSane(t *testing.T) {
 func checkAccuracy(t *testing.T, c *cfsm.CFSM, prof *vm.Profile, tolPct float64) {
 	t.Helper()
 	g := buildSG(t, c)
-	params := Calibrate(prof)
+	params := mustCalibrate(t, prof)
 	opts := Options{}
 	est := EstimateSGraph(g, params, opts)
 
@@ -142,7 +153,7 @@ func TestAccuracyCounterR3K(t *testing.T)  { checkAccuracy(t, counter(), vm.R3K(
 
 func TestMinLeMax(t *testing.T) {
 	g := buildSG(t, counter())
-	p := Calibrate(vm.HC11())
+	p := mustCalibrate(t, vm.HC11())
 	est := EstimateSGraph(g, p, Options{})
 	if est.MinCycles > est.MaxCycles {
 		t.Errorf("min %d > max %d", est.MinCycles, est.MaxCycles)
@@ -178,7 +189,7 @@ func TestFalsePathsTightenMax(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	params := Calibrate(vm.HC11())
+	params := mustCalibrate(t, vm.HC11())
 	plain := EstimateSGraph(g, params, Options{})
 	pruned := EstimateSGraph(g, params, Options{UseFalsePaths: true})
 	if pruned.MaxCycles >= plain.MaxCycles {
@@ -194,7 +205,7 @@ func TestOptimizeCopiesLowersEstimate(t *testing.T) {
 	// The swapper needs copies; the simple module does not, so
 	// OptimizeCopies lowers its estimate.
 	g := buildSG(t, simple())
-	p := Calibrate(vm.HC11())
+	p := mustCalibrate(t, vm.HC11())
 	full := EstimateSGraph(g, p, Options{})
 	opt := EstimateSGraph(g, p, Options{Codegen: codegen.Options{OptimizeCopies: true}})
 	if opt.CodeBytes >= full.CodeBytes {
@@ -222,7 +233,7 @@ func TestExprDepth(t *testing.T) {
 }
 
 func TestMicros(t *testing.T) {
-	p := Calibrate(vm.HC11())
+	p := mustCalibrate(t, vm.HC11())
 	r := Result{MaxCycles: 2000}
 	us := r.Micros(p, r.MaxCycles)
 	if us != 1000 { // 2000 cycles at 2 MHz = 1 ms
@@ -231,7 +242,7 @@ func TestMicros(t *testing.T) {
 }
 
 func TestParamsFormat(t *testing.T) {
-	p := Calibrate(vm.HC11())
+	p := mustCalibrate(t, vm.HC11())
 	out := p.Format()
 	for _, needle := range []string{
 		"timing (cycles):", "size (bytes):", "system:", "library (cycles):",

@@ -213,7 +213,10 @@ type FalsePathRow struct {
 // pruning (Section III-C) on the estimator's worst-case bound.
 func AblationFalsePaths(prof *vm.Profile) ([]FalsePathRow, error) {
 	d := designs.NewDashboard()
-	params := estimate.Calibrate(prof)
+	params, err := estimate.Calibrate(prof)
+	if err != nil {
+		return nil, err
+	}
 	var rows []FalsePathRow
 	for _, m := range d.Modules() {
 		r, err := cfsm.BuildReactive(m)

@@ -64,7 +64,10 @@ type Table1Row struct {
 // dashboard modules on the given target.
 func Table1(prof *vm.Profile) ([]Table1Row, error) {
 	d := designs.NewDashboard()
-	params := estimate.Calibrate(prof)
+	params, err := estimate.Calibrate(prof)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table1Row
 	for _, m := range d.Modules() {
 		g, p, err := synthesize(m, sgraph.OrderSiftAfterSupport, codegen.Options{})

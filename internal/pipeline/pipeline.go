@@ -80,8 +80,8 @@ type Artifact struct {
 	NumActions int
 	NumTrans   int
 
-	C        string      // generated C routine
-	Listing  string      // assembly listing
+	C        string // generated C routine
+	Listing  string // assembly listing
 	Estimate estimate.Result
 	Measured vm.PathCycles // exact min/max cycles from the object code
 	CodeSize int           // measured bytes
@@ -169,7 +169,10 @@ func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 	}
 
 	t = time.Now()
-	params := estimate.Calibrate(opt.Target)
+	params, err := estimate.Calibrate(opt.Target)
+	if err != nil {
+		return nil, err
+	}
 	est := estimate.EstimateSGraph(g, params, estimate.Options{
 		Codegen:       opt.Codegen,
 		UseFalsePaths: opt.UseFalsePaths,

@@ -51,7 +51,7 @@ type Machine struct {
 // disjoint by construction.
 func New(r *rand.Rand, cfg Config) *Machine {
 	c := cfsm.New(fmt.Sprintf("rand%d", r.Intn(1<<30)))
-	return generate(r, cfg, c, "", c.AddInput, c.AddOutput)
+	return generate(r, cfg, c, "", c.AddInput, c.AddOutput, nil, nil)
 }
 
 // NewInNetwork generates a random machine with the given name whose
@@ -62,6 +62,15 @@ func New(r *rand.Rand, cfg Config) *Machine {
 // (no shared signals): the generator's purpose is whole-network
 // synthesis benchmarking, where the per-machine flows never interact.
 func NewInNetwork(r *rand.Rand, net *cfsm.Network, name string, cfg Config) (*Machine, error) {
+	return newInNetwork(r, net, name, cfg, nil, nil)
+}
+
+// newInNetwork is NewInNetwork with wired signals: extraIn/extraOut
+// are existing network signals attached to the machine before the
+// transition relation is generated, so they participate in guards and
+// emissions exactly like the machine's own signals.
+func newInNetwork(r *rand.Rand, net *cfsm.Network, name string, cfg Config,
+	extraIn, extraOut []*cfsm.Signal) (*Machine, error) {
 	c := cfsm.New(name)
 	addIn := func(n string, pure bool) *cfsm.Signal {
 		return c.AttachInput(net.NewSignal(name+"_"+n, pure))
@@ -69,7 +78,7 @@ func NewInNetwork(r *rand.Rand, net *cfsm.Network, name string, cfg Config) (*Ma
 	addOut := func(n string, pure bool) *cfsm.Signal {
 		return c.AttachOutput(net.NewSignal(name+"_"+n, pure))
 	}
-	m := generate(r, cfg, c, name+"_", addIn, addOut)
+	m := generate(r, cfg, c, name+"_", addIn, addOut, extraIn, extraOut)
 	if err := net.Add(c); err != nil {
 		return nil, err
 	}
@@ -97,8 +106,12 @@ func NewNetwork(r *rand.Rand, n int, cfg Config) (*cfsm.Network, []*Machine, err
 // generate is the shared machine-construction body; addIn/addOut
 // abstract whether signals are machine-local or network-level, and
 // prefix keeps state-variable names unique within a network.
+// extraIn/extraOut (both usually nil) are pre-existing wired signals;
+// they are attached without consuming the rng stream, so unwired
+// callers generate byte-identical machines across versions.
 func generate(r *rand.Rand, cfg Config, c *cfsm.CFSM, prefix string,
-	addIn, addOut func(name string, pure bool) *cfsm.Signal) *Machine {
+	addIn, addOut func(name string, pure bool) *cfsm.Signal,
+	extraIn, extraOut []*cfsm.Signal) *Machine {
 	m := &Machine{C: c, Rng: r, Range: cfg.ValueRange}
 
 	nin := 1 + r.Intn(cfg.MaxInputs)
@@ -106,10 +119,16 @@ func generate(r *rand.Rand, cfg Config, c *cfsm.CFSM, prefix string,
 		pure := r.Intn(2) == 0
 		m.Inputs = append(m.Inputs, addIn(fmt.Sprintf("i%d", i), pure))
 	}
+	for _, s := range extraIn {
+		m.Inputs = append(m.Inputs, c.AttachInput(s))
+	}
 	nout := 1 + r.Intn(cfg.MaxOutputs)
 	for i := 0; i < nout; i++ {
 		pure := r.Intn(2) == 0
 		m.Outputs = append(m.Outputs, addOut(fmt.Sprintf("o%d", i), pure))
+	}
+	for _, s := range extraOut {
+		m.Outputs = append(m.Outputs, c.AttachOutput(s))
 	}
 	var ctrl []*cfsm.StateVar
 	for i := 0; i < r.Intn(cfg.MaxControlVars+1); i++ {
@@ -170,6 +189,91 @@ func generate(r *rand.Rand, cfg Config, c *cfsm.CFSM, prefix string,
 		c.AddTransition([]cfsm.Cond{cfsm.On(tests[0], 1)}, m.randActions(ctrl, data)...)
 	}
 	return m
+}
+
+// Topology selects how the machines of a generated network are wired.
+type Topology int
+
+// Topologies.
+const (
+	// TopoIndependent leaves machines unconnected — the original
+	// whole-network synthesis benchmark shape.
+	TopoIndependent Topology = iota
+	// TopoChain wires machine i's link output to machine i+1's link
+	// input: at most one internal event is in flight per environment
+	// stimulus, so spaced stimuli give scheduling-independent traces.
+	TopoChain
+	// TopoDAG wires every machine (after the first) to one or two
+	// random earlier machines with fan-out allowed: converging
+	// cascades race at shared readers and exercise freeze-window
+	// merging and one-place-buffer overwrites.
+	TopoDAG
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TopoChain:
+		return "chain"
+	case TopoDAG:
+		return "dag"
+	default:
+		return "independent"
+	}
+}
+
+// NewTopologyNetwork generates a network of n random machines wired
+// per the topology: link signals are created at network level and take
+// part in the readers' guards and the writers' emissions, making the
+// network genuinely GALS — internal events cross the one-place-buffer
+// channels of Section II.
+func NewTopologyNetwork(r *rand.Rand, n int, cfg Config, topo Topology) (*cfsm.Network, []*Machine, error) {
+	if topo == TopoIndependent {
+		return NewNetwork(r, n, cfg)
+	}
+	net := cfsm.NewNetwork(fmt.Sprintf("randnet%d%s", n, topo))
+	// One link output per machine (the chain's last machine has none);
+	// pure or valued at random so both event flavours cross channels.
+	links := make([]*cfsm.Signal, n)
+	for i := range links {
+		if topo == TopoChain && i == n-1 {
+			break
+		}
+		links[i] = net.NewSignal(fmt.Sprintf("m%02d_lnk", i), r.Intn(2) == 0)
+	}
+	machines := make([]*Machine, 0, n)
+	for i := 0; i < n; i++ {
+		var extraIn, extraOut []*cfsm.Signal
+		switch topo {
+		case TopoChain:
+			if i > 0 {
+				extraIn = append(extraIn, links[i-1])
+			}
+			if links[i] != nil {
+				extraOut = append(extraOut, links[i])
+			}
+		case TopoDAG:
+			if i > 0 {
+				picked := map[*cfsm.Signal]bool{}
+				for k := 1 + r.Intn(2); k > 0; k-- {
+					src := links[r.Intn(i)]
+					if !picked[src] {
+						picked[src] = true
+						extraIn = append(extraIn, src)
+					}
+				}
+			}
+			extraOut = append(extraOut, links[i])
+		}
+		m, err := newInNetwork(r, net, fmt.Sprintf("m%02d", i), cfg, extraIn, extraOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		machines = append(machines, m)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return net, machines, nil
 }
 
 // randActions builds a non-conflicting action list.

@@ -81,7 +81,36 @@ type Config struct {
 	EmitOverhead     int64 // one event emission (flag fan-out)
 	ISROverhead      int64 // interrupt entry/exit
 	PollOverhead     int64 // one poll routine execution
+
+	// Mutant injects an intentionally wrong event-buffer semantics
+	// into every task. It exists solely so the netfuzz harness can
+	// prove it detects semantic bugs (a mutant self-check); production
+	// configurations leave it at MutantNone.
+	Mutant Mutant
 }
+
+// Mutant enumerates the known-bad semantics available for harness
+// self-validation. Each one is a minimal, realistic slip in the
+// one-place-buffer bookkeeping of Section II.
+type Mutant int
+
+// Mutants.
+const (
+	// MutantNone is the correct semantics.
+	MutantNone Mutant = iota
+	// MutantLostUndercount forgets to count an overwritten event, so
+	// event loss becomes silent.
+	MutantLostUndercount
+	// MutantStaleOverwrite keeps the old buffered value when a new
+	// event overwrites a one-place buffer (the overwrite updates the
+	// flag but not the value — a classic off-by-one in the buffer
+	// update sequence).
+	MutantStaleOverwrite
+	// MutantConsumeUnfired clears the input flags even when no
+	// transition fired, violating the event-preservation rule of
+	// Section IV-D.
+	MutantConsumeUnfired
+)
 
 // DefaultConfig returns a round-robin non-preemptive configuration
 // with interrupt delivery — the setup of the paper's shock-absorber
@@ -122,10 +151,16 @@ type Task struct {
 	remaining int64 // cycles left in the current execution
 	// react is called when an execution completes, with the frozen
 	// snapshot; it returns the emissions and whether any transition
-	// fired (events are consumed only if it did).
-	react func(snap cfsm.Snapshot) cfsm.Reaction
+	// fired (events are consumed only if it did). A reaction error —
+	// e.g. a virtual-machine fault in co-simulation — aborts the
+	// whole system run with the task name attached; it never panics.
+	react func(snap cfsm.Snapshot) (cfsm.Reaction, error)
 	// cost returns the execution time in cycles for a snapshot.
 	cost func(snap cfsm.Snapshot) int64
+
+	// mutant is the injected bad semantics (harness self-checks only),
+	// copied from the system config.
+	mutant Mutant
 
 	state map[*cfsm.StateVar]int64
 	// frozen snapshot for the in-flight execution
@@ -150,15 +185,24 @@ func (t *Task) Enabled() bool {
 // window and counting one-place buffer overwrites.
 func (t *Task) post(s *cfsm.Signal, v int64) {
 	if t.running {
-		if t.pendFlags[s] {
+		if t.pendFlags[s] && t.mutant != MutantLostUndercount {
 			t.Lost++
+		}
+		if t.pendFlags[s] && t.mutant == MutantStaleOverwrite {
+			return // flag already set; stale value kept
 		}
 		t.pendFlags[s] = true
 		t.pendValues[s] = v
 		return
 	}
 	if t.flags[s] {
-		t.Lost++
+		if t.mutant != MutantLostUndercount {
+			t.Lost++
+		}
+		if t.mutant == MutantStaleOverwrite {
+			t.enabled = true
+			return // flag already set; stale value kept
+		}
 	}
 	t.flags[s] = true
 	t.values[s] = v
@@ -195,15 +239,23 @@ func (t *Task) finish(r cfsm.Reaction) {
 			t.flags[s] = false
 		}
 		t.state = r.NextState
+	} else if t.mutant == MutantConsumeUnfired {
+		for s := range t.frozen.Present {
+			t.flags[s] = false
+		}
 	}
 	for s, p := range t.pendFlags {
 		if p {
-			if t.flags[s] {
+			if t.flags[s] && t.mutant != MutantLostUndercount {
 				t.Lost++
 			}
-			t.flags[s] = true
-			t.values[s] = t.pendValues[s]
-			t.enabled = true
+			if t.flags[s] && t.mutant == MutantStaleOverwrite {
+				t.enabled = true
+			} else {
+				t.flags[s] = true
+				t.values[s] = t.pendValues[s]
+				t.enabled = true
+			}
 		}
 		delete(t.pendFlags, s)
 		delete(t.pendValues, s)
@@ -211,9 +263,16 @@ func (t *Task) finish(r cfsm.Reaction) {
 	t.running = false
 }
 
+// Infallible adapts a pure reaction function — e.g. the reference
+// interpreter (*cfsm.CFSM).React — to the error-returning callback
+// NewTask expects.
+func Infallible(f func(cfsm.Snapshot) cfsm.Reaction) func(cfsm.Snapshot) (cfsm.Reaction, error) {
+	return func(snap cfsm.Snapshot) (cfsm.Reaction, error) { return f(snap), nil }
+}
+
 // NewTask builds the runtime record for a software CFSM with the given
 // reaction function and cost model.
-func NewTask(m *cfsm.CFSM, react func(cfsm.Snapshot) cfsm.Reaction,
+func NewTask(m *cfsm.CFSM, react func(cfsm.Snapshot) (cfsm.Reaction, error),
 	cost func(cfsm.Snapshot) int64) *Task {
 	st := make(map[*cfsm.StateVar]int64, len(m.States))
 	for _, sv := range m.States {

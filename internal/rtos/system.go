@@ -15,11 +15,29 @@ type TraceEvent struct {
 	From   string // emitting machine, "env", or "isr"/"poll" for deliveries
 }
 
+// Probe observes the runtime at its three semantic points: an event
+// delivered to a task's buffers, an execution starting with a frozen
+// snapshot, and an execution completing. The netfuzz harness uses the
+// stream to maintain a redundant model of the one-place-buffer and
+// freeze-window semantics and cross-checks it against the
+// implementation; the hooks carry raw deliveries, so a bug (or an
+// injected Mutant) in the buffer bookkeeping cannot distort the
+// observation stream that convicts it. env marks deliveries that
+// originate directly from an environment stimulus (EmitEnv with
+// interrupt delivery); internal emissions, hardware completions and
+// deferred poll deliveries carry env=false.
+type Probe interface {
+	TaskPosted(t *Task, sig *cfsm.Signal, val int64, now int64, env bool)
+	TaskBegan(t *Task, snap cfsm.Snapshot, now int64)
+	TaskFinished(t *Task, r cfsm.Reaction, cycles int64, now int64)
+}
+
 // running is one in-flight software execution.
 type running struct {
 	task     *Task
 	reaction cfsm.Reaction
 	end      int64
+	cost     int64 // reaction cycles charged (without scheduler overhead)
 	inISR    bool
 }
 
@@ -41,8 +59,15 @@ type System struct {
 	Tasks  []*Task // software tasks, in network order
 	taskOf map[*cfsm.CFSM]*Task
 	hwOf   map[*cfsm.CFSM]*Task
+	// hwTasks lists hardware tasks in network order, so reaction
+	// start-up is deterministic (map iteration is not).
+	hwTasks []*Task
 	// chainNext maps a task to its chain successor (Section IV-A).
 	chainNext map[*Task]*Task
+
+	// Probe, when set before the first EmitEnv/Advance, observes every
+	// delivery, execution start and completion.
+	Probe Probe
 
 	Now   int64
 	Trace []TraceEvent
@@ -66,7 +91,12 @@ type System struct {
 	Interrupts    int64
 	Polls         int64
 	BusyCycles    int64
-	idleSince     int64
+	// PollDropped counts events overwritten at the one-place poll port
+	// before the poll routine could deliver them — event loss that
+	// never reaches a task's buffers but is legal under the paper's
+	// semantics, and must be accounted rather than silent.
+	PollDropped int64
+	idleSince   int64
 }
 
 // NewSystem builds the runtime. makeTask supplies each software
@@ -88,8 +118,10 @@ func NewSystem(n *cfsm.Network, cfg Config,
 	for _, m := range n.Machines {
 		if cfg.HW[m] {
 			mm := m
-			t := NewTask(m, mm.React, func(cfsm.Snapshot) int64 { return cfg.HWDelay })
+			t := NewTask(m, Infallible(mm.React), func(cfsm.Snapshot) int64 { return cfg.HWDelay })
+			t.mutant = cfg.Mutant
 			s.hwOf[m] = t
+			s.hwTasks = append(s.hwTasks, t)
 			continue
 		}
 		t, err := makeTask(m)
@@ -97,6 +129,7 @@ func NewSystem(n *cfsm.Network, cfg Config,
 			return nil, err
 		}
 		t.Priority = cfg.Priority[m]
+		t.mutant = cfg.Mutant
 		s.taskOf[m] = t
 		s.Tasks = append(s.Tasks, t)
 	}
@@ -134,25 +167,34 @@ func (s *System) delivery(sig *cfsm.Signal) Delivery {
 // EmitEnv injects an environment event at the current time. Events
 // bound for software pass through the configured delivery mechanism
 // (interrupt or polling), exactly like emissions from the hardware
-// partition.
-func (s *System) EmitEnv(sig *cfsm.Signal, val int64) {
+// partition. The returned error is a reaction failure of an
+// ISR-context or hardware task (with the task name attached).
+func (s *System) EmitEnv(sig *cfsm.Signal, val int64) error {
 	s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: "env"})
-	s.routeFromHardware(sig, val)
+	return s.routeFromHardware(sig, val, true)
 }
 
 // routeFromHardware delivers an event produced outside the CPU: to
 // hardware readers directly, to software readers by interrupt or by
-// latching it at the poll port.
-func (s *System) routeFromHardware(sig *cfsm.Signal, val int64) {
+// latching it at the poll port. env marks direct environment stimuli
+// for the probe.
+func (s *System) routeFromHardware(sig *cfsm.Signal, val int64, env bool) error {
 	interrupted := false
 	for _, m := range s.N.Readers(sig) {
 		if hw, ok := s.hwOf[m]; ok {
+			s.probePosted(hw, sig, val, env)
 			hw.post(sig, val)
-			s.startHW()
+			if err := s.startHW(); err != nil {
+				return err
+			}
 			continue
 		}
 		switch s.delivery(sig) {
 		case Polling:
+			if s.pollPort[sig] {
+				// One-place port: the undelivered event is lost.
+				s.PollDropped++
+			}
 			s.pollPort[sig] = true
 			s.pollValue[sig] = val
 		case Interrupt:
@@ -162,13 +204,16 @@ func (s *System) routeFromHardware(sig *cfsm.Signal, val int64) {
 				s.Interrupts++
 				s.stealCPU(s.Cfg.ISROverhead)
 			}
-			s.postToTask(s.taskOf[m], sig, val, s.Cfg.InISR[sig])
+			if err := s.postToTask(s.taskOf[m], sig, val, s.Cfg.InISR[sig], env); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // emitFromSW delivers an event emitted by a software task.
-func (s *System) emitFromSW(from *Task, sig *cfsm.Signal, val int64) {
+func (s *System) emitFromSW(from *Task, sig *cfsm.Signal, val int64) error {
 	s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: from.M.Name})
 	readers := s.N.Readers(sig)
 	extra := len(readers) - 1
@@ -178,41 +223,85 @@ func (s *System) emitFromSW(from *Task, sig *cfsm.Signal, val int64) {
 	for _, m := range readers {
 		if hw, ok := s.hwOf[m]; ok {
 			// SW -> HW through a memory-mapped port: immediate.
+			s.probePosted(hw, sig, val, false)
 			hw.post(sig, val)
-			s.startHW()
+			if err := s.startHW(); err != nil {
+				return err
+			}
 			continue
 		}
-		s.postToTask(s.taskOf[m], sig, val, false)
+		if err := s.postToTask(s.taskOf[m], sig, val, false, false); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // emitFromHW delivers emissions of a completed hardware reaction.
-func (s *System) emitFromHW(from *Task, sig *cfsm.Signal, val int64) {
+func (s *System) emitFromHW(from *Task, sig *cfsm.Signal, val int64) error {
 	s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: from.M.Name})
-	s.routeFromHardware(sig, val)
+	return s.routeFromHardware(sig, val, false)
+}
+
+// probePosted reports a raw delivery to the probe.
+func (s *System) probePosted(t *Task, sig *cfsm.Signal, val int64, env bool) {
+	if s.Probe != nil {
+		s.Probe.TaskPosted(t, sig, val, s.Now, env)
+	}
+}
+
+// taskError attributes a reaction failure to its CFSM.
+func taskError(t *Task, err error) error {
+	return fmt.Errorf("rtos: task %s: %w", t.M.Name, err)
+}
+
+// beginTask freezes a snapshot, runs the reaction function and charges
+// its cost, reporting begin to the probe. It is the single path every
+// execution start takes.
+func (s *System) beginTask(t *Task) (cfsm.Reaction, int64, error) {
+	snap := t.begin()
+	if s.Probe != nil {
+		s.Probe.TaskBegan(t, snap, s.Now)
+	}
+	r, err := t.react(snap)
+	if err != nil {
+		return cfsm.Reaction{}, 0, taskError(t, err)
+	}
+	return r, t.cost(snap), nil
+}
+
+// finishTask completes an execution and reports it to the probe.
+func (s *System) finishTask(t *Task, r cfsm.Reaction, cycles int64) {
+	t.finish(r)
+	if s.Probe != nil {
+		s.Probe.TaskFinished(t, r, cycles, s.Now)
+	}
 }
 
 // postToTask sets the private flag and handles preemption and
 // ISR-context execution.
-func (s *System) postToTask(t *Task, sig *cfsm.Signal, val int64, inISR bool) {
+func (s *System) postToTask(t *Task, sig *cfsm.Signal, val int64, inISR, env bool) error {
 	if t == nil {
-		return
+		return nil
 	}
+	s.probePosted(t, sig, val, env)
 	t.post(sig, val)
 	if inISR && !t.running {
 		// Execute the critical task inside the ISR, ahead of
 		// everything, unless it is already running.
-		snap := t.begin()
-		r := t.react(snap)
-		d := t.cost(snap)
+		r, d, err := s.beginTask(t)
+		if err != nil {
+			return err
+		}
 		s.preemptCurrent()
-		s.current = &running{task: t, reaction: r, end: s.Now + d, inISR: true}
-		return
+		s.current = &running{task: t, reaction: r, end: s.Now + d, cost: d, inISR: true}
+		return nil
 	}
 	if s.Cfg.Preemptive && s.current != nil && !s.current.inISR &&
 		t.Priority > s.current.task.Priority && t.Enabled() {
 		s.preemptCurrent()
 	}
+	return nil
 }
 
 // preemptCurrent suspends the in-flight execution, remembering its
@@ -245,15 +334,19 @@ func (s *System) stealCPU(cycles int64) {
 }
 
 // startHW begins reactions of enabled hardware machines; they run
-// concurrently off-CPU.
-func (s *System) startHW() {
-	for _, hw := range s.hwOf {
+// concurrently off-CPU. Iteration follows network order so the start
+// sequence (and the resulting trace) is deterministic.
+func (s *System) startHW() error {
+	for _, hw := range s.hwTasks {
 		if !hw.running && hw.Enabled() {
-			snap := hw.begin()
-			r := hw.react(snap)
+			r, _, err := s.beginTask(hw)
+			if err != nil {
+				return err
+			}
 			s.hwRuns = append(s.hwRuns, &hwRun{task: hw, reaction: r, end: s.Now + s.Cfg.HWDelay})
 		}
 	}
+	return nil
 }
 
 // pickTask selects the next enabled software task under the policy.
@@ -317,11 +410,12 @@ func (s *System) Advance(to int64) error {
 			}
 			if cand != nil {
 				s.ScheduleCalls++
-				snap := cand.begin()
-				r := cand.react(snap)
-				d := cand.cost(snap)
+				r, d, err := s.beginTask(cand)
+				if err != nil {
+					return err
+				}
 				s.BusyCycles += s.Cfg.ScheduleOverhead + d
-				s.current = &running{task: cand, reaction: r, end: s.Now + s.Cfg.ScheduleOverhead + d}
+				s.current = &running{task: cand, reaction: r, end: s.Now + s.Cfg.ScheduleOverhead + d, cost: d}
 			}
 		}
 
@@ -357,18 +451,21 @@ func (s *System) Advance(to int64) error {
 		case 1:
 			cur := s.current
 			s.current = nil
-			cur.task.finish(cur.reaction)
+			s.finishTask(cur.task, cur.reaction, cur.cost)
 			for _, em := range cur.reaction.Emitted {
-				s.emitFromSW(cur.task, em.Signal, em.Value)
+				if err := s.emitFromSW(cur.task, em.Signal, em.Value); err != nil {
+					return err
+				}
 			}
 			// Chained successor: run back to back without a
 			// scheduler decision (Section IV-A).
 			if next := s.chainNext[cur.task]; next != nil && next.Enabled() && s.current == nil {
-				snap := next.begin()
-				r := next.react(snap)
-				d := next.cost(snap)
+				r, d, err := s.beginTask(next)
+				if err != nil {
+					return err
+				}
 				s.BusyCycles += d
-				s.current = &running{task: next, reaction: r, end: s.Now + d}
+				s.current = &running{task: next, reaction: r, end: s.Now + d, cost: d}
 			}
 		case 2:
 			// Complete all hardware runs due now.
@@ -384,18 +481,26 @@ func (s *System) Advance(to int64) error {
 			s.hwRuns = rest
 			sort.SliceStable(done, func(i, j int) bool { return done[i].end < done[j].end })
 			for _, h := range done {
-				h.task.finish(h.reaction)
+				s.finishTask(h.task, h.reaction, s.Cfg.HWDelay)
 				for _, em := range h.reaction.Emitted {
-					s.emitFromHW(h.task, em.Signal, em.Value)
+					if err := s.emitFromHW(h.task, em.Signal, em.Value); err != nil {
+						return err
+					}
 				}
 			}
-			s.startHW() // buffered events may re-enable them
+			// Buffered events may re-enable them.
+			if err := s.startHW(); err != nil {
+				return err
+			}
 		case 3:
 			s.Polls++
 			s.nextPoll += s.Cfg.PollPeriod
 			s.stealCPU(s.Cfg.PollOverhead)
-			for sig, p := range s.pollPort {
-				if !p {
+			// Drain the port in network signal order: map iteration
+			// order would make merges (and thus traces) vary between
+			// identical runs.
+			for _, sig := range s.N.Signals {
+				if !s.pollPort[sig] {
 					continue
 				}
 				val := s.pollValue[sig]
@@ -403,7 +508,9 @@ func (s *System) Advance(to int64) error {
 				for _, m := range s.N.Readers(sig) {
 					if t, ok := s.taskOf[m]; ok && s.delivery(sig) == Polling {
 						s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: "poll"})
-						s.postToTask(t, sig, val, false)
+						if err := s.postToTask(t, sig, val, false, false); err != nil {
+							return err
+						}
 					}
 				}
 			}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"polis/internal/cfsm"
 	"polis/internal/codegen"
@@ -43,6 +44,27 @@ type Stimulus struct {
 	Value  int64
 }
 
+// CheckOptions selects the differential runtime checks the simulator
+// performs on every reaction; the netfuzz harness turns them all on.
+// A violated check surfaces as an error out of Run with the failing
+// CFSM's name attached — never a panic.
+type CheckOptions struct {
+	// VMAgainstReference cross-checks every VMExact reaction against
+	// the reference interpreter on the same frozen snapshot: emission
+	// multiset, next state and the fired bit must agree.
+	VMAgainstReference bool
+	// CycleBounds verifies per VMExact reaction that the exact cycle
+	// count lies within the object-code analyzer's [Min, Max] path
+	// bounds (a sound bracket, since generated routines are acyclic)
+	// and does not exceed the estimator's worst case by more than
+	// EstimateSlack.
+	CycleBounds bool
+	// EstimateSlack is the tolerated fractional overshoot of the
+	// estimator's MaxCycles; the calibration contract is ±20%, so the
+	// default (used when 0) is 0.25.
+	EstimateSlack float64
+}
+
 // Options configures a simulation run.
 type Options struct {
 	Cfg      rtos.Config
@@ -50,6 +72,11 @@ type Options struct {
 	Profile  *vm.Profile
 	Ordering sgraph.Ordering
 	Codegen  codegen.Options
+	// Probe, when non-nil, observes every delivery and execution in
+	// the underlying RTOS model (see rtos.Probe).
+	Probe rtos.Probe
+	// Check enables per-reaction differential checks.
+	Check CheckOptions
 }
 
 // Result carries the outcome of a run.
@@ -71,6 +98,11 @@ type vmTask struct {
 	sigs    codegen.SignalMap
 	byID    map[int]*cfsm.Signal
 
+	// differential-check state (populated when checks are enabled)
+	check  CheckOptions
+	bounds vm.PathCycles
+	estMax int64
+
 	// per-reaction capture
 	snap    cfsm.Snapshot
 	emitted []cfsm.Emission
@@ -86,8 +118,12 @@ func (t *vmTask) EmitValue(sig int, v int64) {
 	t.emitted = append(t.emitted, cfsm.Emission{Signal: t.byID[sig], Value: v})
 }
 
-// react executes one reaction on the VM and records its exact cost.
-func (t *vmTask) react(snap cfsm.Snapshot) cfsm.Reaction {
+// react executes one reaction on the VM and records its exact cost. A
+// machine fault (bad address, runaway program, unknown service) is
+// returned as an error — the RTOS aborts the run with the task name
+// attached — rather than panicking the whole process, so adversarial
+// networks are a diagnosable failure.
+func (t *vmTask) react(snap cfsm.Snapshot) (cfsm.Reaction, error) {
 	t.snap = snap
 	t.emitted = nil
 	for _, sv := range t.g.C.States {
@@ -95,7 +131,7 @@ func (t *vmTask) react(snap cfsm.Snapshot) cfsm.Reaction {
 	}
 	cycles, err := t.machine.Run(t.prog, codegen.EntryLabel(t.g.C))
 	if err != nil {
-		panic(fmt.Sprintf("sim: vm task %s: %v", t.g.C.Name, err))
+		return cfsm.Reaction{}, fmt.Errorf("vm reaction failed: %w", err)
 	}
 	t.cycles = cycles
 	next := make(map[*cfsm.StateVar]int64, len(snap.State))
@@ -106,11 +142,71 @@ func (t *vmTask) react(snap cfsm.Snapshot) cfsm.Reaction {
 	// (Section IV-D); the s-graph interpreter is the authority, since
 	// the object code has no out-of-band "fired" channel.
 	fired := t.g.Evaluate(snap).Fired
-	return cfsm.Reaction{
+	r := cfsm.Reaction{
 		Fired:     fired,
 		Emitted:   t.emitted,
 		NextState: next,
 	}
+	if t.check.VMAgainstReference {
+		if err := checkReference(t.g.C, snap, r); err != nil {
+			return cfsm.Reaction{}, err
+		}
+	}
+	if t.check.CycleBounds {
+		if err := t.checkCycles(cycles); err != nil {
+			return cfsm.Reaction{}, err
+		}
+	}
+	return r, nil
+}
+
+// checkReference compares a VM reaction against the reference
+// interpreter on the same snapshot. Emissions are compared as a sorted
+// multiset (like internal/crosstest): object code may reorder
+// independent emissions within one reaction.
+func checkReference(m *cfsm.CFSM, snap cfsm.Snapshot, got cfsm.Reaction) error {
+	want := m.React(snap)
+	if got.Fired != want.Fired {
+		return fmt.Errorf("vm/reference divergence: fired=%v, reference says %v", got.Fired, want.Fired)
+	}
+	if a, b := emissionKey(got.Emitted), emissionKey(want.Emitted); a != b {
+		return fmt.Errorf("vm/reference divergence: emitted %s, reference %s", a, b)
+	}
+	for _, sv := range m.States {
+		if got.NextState[sv] != want.NextState[sv] {
+			return fmt.Errorf("vm/reference divergence: state %s=%d, reference %d",
+				sv.Name, got.NextState[sv], want.NextState[sv])
+		}
+	}
+	return nil
+}
+
+// emissionKey canonicalises an emission list as a sorted multiset.
+func emissionKey(ems []cfsm.Emission) string {
+	keys := make([]string, len(ems))
+	for i, e := range ems {
+		keys[i] = e.Signal.Name + ":" + strconv.FormatInt(e.Value, 10)
+	}
+	sort.Strings(keys)
+	return "[" + strings.Join(keys, " ") + "]"
+}
+
+// checkCycles verifies the exact reaction cost against the analyzer's
+// path bounds and the estimator's worst case.
+func (t *vmTask) checkCycles(cycles int64) error {
+	if cycles < t.bounds.Min || cycles > t.bounds.Max {
+		return fmt.Errorf("cycle bound violation: exact %d outside analyzer bounds [%d, %d]",
+			cycles, t.bounds.Min, t.bounds.Max)
+	}
+	slack := t.check.EstimateSlack
+	if slack == 0 {
+		slack = 0.25
+	}
+	if limit := int64(float64(t.estMax) * (1 + slack)); cycles > limit {
+		return fmt.Errorf("cycle bound violation: exact %d exceeds estimator worst case %d by more than %.0f%%",
+			cycles, t.estMax, slack*100)
+	}
+	return nil
 }
 
 // BuildVMTask assembles a machine and returns its RTOS task plus its
@@ -131,10 +227,22 @@ func BuildVMTask(m *cfsm.CFSM, opt Options) (*rtos.Task, int64, int64, error) {
 	}
 	vt := &vmTask{
 		g: g, prog: prog, sigs: sigs,
-		byID: make(map[int]*cfsm.Signal),
+		byID:  make(map[int]*cfsm.Signal),
+		check: opt.Check,
 	}
 	for s, id := range sigs {
 		vt.byID[id] = s
+	}
+	if opt.Check.CycleBounds {
+		vt.bounds, err = vm.AnalyzeCycles(opt.Profile, prog, codegen.EntryLabel(m))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		params, err := estimate.Calibrate(opt.Profile)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		vt.estMax = estimate.EstimateSGraph(g, params, estimate.Options{Codegen: opt.Codegen}).MaxCycles
 	}
 	vt.machine = vm.NewMachine(opt.Profile, prog.Words, vt)
 	codegen.InitStateMemory(g, prog, vt.machine)
@@ -151,7 +259,10 @@ func Run(n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result
 		opt.Profile = vm.HC11()
 	}
 	res := &Result{}
-	params := estimate.Calibrate(opt.Profile)
+	params, err := estimate.Calibrate(opt.Profile)
+	if err != nil {
+		return nil, err
+	}
 	mk := func(m *cfsm.CFSM) (*rtos.Task, error) {
 		switch opt.Mode {
 		case VMExact:
@@ -175,7 +286,7 @@ func Run(n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result
 			res.CodeBytes += est.CodeBytes
 			res.DataBytes += est.DataBytes
 			mm := m
-			return rtos.NewTask(mm, mm.React,
+			return rtos.NewTask(mm, rtos.Infallible(mm.React),
 				func(cfsm.Snapshot) int64 { return est.MaxCycles }), nil
 		}
 	}
@@ -183,6 +294,7 @@ func Run(n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result
 	if err != nil {
 		return nil, err
 	}
+	sys.Probe = opt.Probe
 	sort.SliceStable(stimuli, func(i, j int) bool { return stimuli[i].Time < stimuli[j].Time })
 	for _, st := range stimuli {
 		if st.Time > until {
@@ -191,7 +303,9 @@ func Run(n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result
 		if err := sys.Advance(st.Time); err != nil {
 			return nil, err
 		}
-		sys.EmitEnv(st.Signal, st.Value)
+		if err := sys.EmitEnv(st.Signal, st.Value); err != nil {
+			return nil, err
+		}
 	}
 	if err := sys.Advance(until); err != nil {
 		return nil, err
