@@ -21,7 +21,7 @@
 # are absorbed as a run labelled "legacy" on the next -full.
 set -eu
 
-PATTERN='BenchmarkTable2Orderings|BenchmarkSynthesizeNetwork'
+PATTERN='BenchmarkTable2Orderings|BenchmarkSynthesizeNetwork|BenchmarkAblationReduce'
 OUT=BENCH_bdd.json
 
 run_benches() {

@@ -13,6 +13,7 @@ package polis
 //	BenchmarkAblationRTOS      — generated vs commercial RTOS; polling vs IRQ
 //	BenchmarkAblationCopies    — write-before-read copy optimisation
 //	BenchmarkAblationFalsePaths— event-incompatibility WCET pruning
+//	BenchmarkAblationReduce    — fixed-point s-graph reduction engine
 //	BenchmarkAblationChaining  — Section IV-A task chaining
 //	BenchmarkPartitionSweep    — hardware/software partitioning trade-off
 //
@@ -219,6 +220,36 @@ func BenchmarkAblationFalsePaths(b *testing.B) {
 	b.ReportMetric(float64(plain), "plain-wcet-cycles")
 	b.ReportMetric(float64(pruned), "pruned-wcet-cycles")
 	b.Log("\n" + experiments.FormatFalsePaths(prof, rows))
+}
+
+// BenchmarkAblationReduce regenerates the s-graph reduction ablation
+// and reports the aggregate code-size and WCET deltas of reduce-off
+// versus reduce-on synthesis (bench.sh folds these into BENCH_*.json).
+func BenchmarkAblationReduce(b *testing.B) {
+	prof := vm.HC11()
+	var rows []experiments.ReduceRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationReduce(prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var pb, rb, pc, rc int64
+	elim := 0
+	for _, r := range rows {
+		pb += r.PlainBytes
+		rb += r.ReducedBytes
+		pc += r.PlainMaxCyc
+		rc += r.ReducedCyc
+		elim += r.Stats.TestsEliminated
+	}
+	b.ReportMetric(float64(pb), "plain-code-bytes")
+	b.ReportMetric(float64(rb), "reduced-code-bytes")
+	b.ReportMetric(float64(pc), "plain-wcet-cycles")
+	b.ReportMetric(float64(rc), "reduced-wcet-cycles")
+	b.ReportMetric(float64(elim), "tests-eliminated")
+	b.Log("\n" + experiments.FormatReduce(prof, rows))
 }
 
 // BenchmarkSynthesisThroughput measures the end-to-end synthesis rate

@@ -3,7 +3,8 @@
 # pipeline runs per-CFSM synthesis on concurrent workers), the bdd
 # ownership checks enabled under the bdddebug build tag, a bounded
 # co-simulation fuzz smoke (fixed seeds, so failures are replayable
-# with the printed `polisc fuzz -seed ... -config ...` line), and a
+# with the printed `polisc fuzz -seed ... -config ...` line) run both
+# with and without the s-graph reduction engine, and a
 # single-iteration benchmark smoke so the harness can't bit-rot.
 set -eux
 
@@ -13,4 +14,5 @@ go test ./...
 go test -race ./...
 go test -tags bdddebug ./internal/bdd/
 NETFUZZ_RUNS=400 go test -race -run TestFuzzCampaignRandom ./internal/netfuzz/
+NETFUZZ_REDUCE_RUNS=200 go test -race -run TestFuzzCampaignReduce ./internal/netfuzz/
 ./bench.sh

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	polisc [-target hc11|r3k] [-order default|naive|inputs-first]
-//	       [-j N] [-cache dir] [-stats]
+//	       [-j N] [-cache dir] [-stats] [-reduce]
 //	       [-c] [-asm] [-dot] [-optimize-copies] [-o dir] [file.strl]
 //	polisc fuzz [-seed N] [-runs N] [-config "k=v,..."]
 //
@@ -82,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	emitAsm := fs.Bool("asm", false, "print the object-code listing")
 	emitDot := fs.Bool("dot", false, "print the s-graph in Graphviz format")
 	optCopies := fs.Bool("optimize-copies", false, "apply the write-before-read copy analysis")
+	reduce := fs.Bool("reduce", false, "run the fixed-point s-graph reduction engine before codegen")
 	outDir := fs.String("o", "", "write generated C sources into this directory")
 	showParams := fs.Bool("params", false, "print the calibrated cost parameters and exit")
 	jobs := fs.Int("j", 0, "synthesize up to N modules concurrently (0 = all CPUs)")
@@ -120,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, fmt.Errorf("unknown ordering %q", *order))
 	}
 	opt.Codegen.OptimizeCopies = *optCopies
+	opt.Reduce = *reduce
 
 	if *showParams {
 		params, err := estimate.Calibrate(opt.Target)

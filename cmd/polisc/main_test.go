@@ -172,3 +172,35 @@ func keys(m map[string]string) []string {
 	}
 	return out
 }
+
+// TestReduceFlag drives the -reduce path end-to-end: the synthesized
+// artifacts must still come out for every module, the per-module
+// report must carry the reduce statistics line, and -stats must show
+// the reduce stage with its aggregate counters.
+func TestReduceFlag(t *testing.T) {
+	out, files := runPolisc(t, "-reduce", "-stats")
+	for _, want := range []string{
+		"CFSM divider", "CFSM toggler", "CFSM monitor",
+		"reduce: vertices",
+		"reduce: 3 module(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reduce run missing %q in:\n%s", want, out)
+		}
+	}
+	for _, want := range []string{"divider.c", "toggler.c", "monitor.c"} {
+		if _, ok := files[want]; !ok {
+			t.Errorf("missing generated file %s with -reduce", want)
+		}
+	}
+	// Reduction must not perturb cache identity: a reduce run and a
+	// plain run have different fingerprints, so a shared cache dir
+	// serves neither run stale artifacts of the other.
+	cacheDir := t.TempDir()
+	plain, _ := runPolisc(t, "-cache", cacheDir, "-stats")
+	reduced, _ := runPolisc(t, "-reduce", "-cache", cacheDir, "-stats")
+	if !strings.Contains(plain, "3 miss(es)") || !strings.Contains(reduced, "3 miss(es)") {
+		t.Errorf("reduce and plain runs must not share cache entries:\nplain:\n%s\nreduced:\n%s",
+			plain, reduced)
+	}
+}

@@ -27,6 +27,7 @@ const (
 	opNot
 	opExists
 	opCofactor
+	opIntersect
 )
 
 // cacheEntry is one direct-mapped slot (24 bytes).

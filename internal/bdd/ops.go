@@ -209,6 +209,44 @@ func (m *Manager) Or(fs ...Node) Node {
 	return r
 }
 
+// Intersects reports whether the conjunction of f and g is
+// satisfiable, without materialising it: the recursion short-circuits
+// on the first satisfying path and never calls mk, so no nodes are
+// created (CUDD's Cudd_bddLeq idiom, f <= !g negated). Reduction's
+// per-edge feasibility checks use it so that probing every outcome of
+// every TEST vertex cannot blow up the context manager. Results are
+// memoised in the shared operation cache with True/False as the
+// stored value.
+func (m *Manager) Intersects(f, g Node) bool {
+	m.checkOwner()
+	m.maybeGrowCache()
+	return m.intersectsRec(f, g)
+}
+
+func (m *Manager) intersectsRec(f, g Node) bool {
+	switch {
+	case f == False || g == False:
+		return false
+	case f == g || f == True || g == True:
+		// The other operand is known non-False here.
+		return true
+	}
+	if f > g { // commutes; normalise like andRec
+		f, g = g, f
+	}
+	if r, ok := m.cacheLookup(opIntersect, f, g, 0); ok {
+		return r == True
+	}
+	_, f0, f1, g0, g1 := m.topSplit(f, g)
+	sat := m.intersectsRec(f0, g0) || m.intersectsRec(f1, g1)
+	res := False
+	if sat {
+		res = True
+	}
+	m.cacheStore(opIntersect, f, g, 0, res)
+	return sat
+}
+
 // Xor returns the exclusive or of f and g.
 func (m *Manager) Xor(f, g Node) Node {
 	m.checkOwner()

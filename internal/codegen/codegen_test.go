@@ -379,3 +379,105 @@ func TestEmitCCollapsedMultiTest(t *testing.T) {
 		t.Error("unbalanced braces")
 	}
 }
+
+// exclusiveTimer builds a machine whose MarkExclusive care set lets
+// the s-graph reduction engine eliminate a TEST: the two threshold
+// predicates cnt==49 and cnt==149 can never hold together, so the
+// inner one is redundant on the path where the outer already fired.
+func exclusiveTimer() *cfsm.CFSM {
+	c := cfsm.New("extimer")
+	start := c.AddInput("start", true)
+	tick := c.AddInput("tick", true)
+	end5 := c.AddOutput("end5", true)
+	end10 := c.AddOutput("end10", true)
+	on := c.AddState("on", 2, 0)
+	cnt := c.AddState("cnt", 0, 0)
+	sel := c.Sel(on)
+	pStart := c.Present(start)
+	pTick := c.Present(tick)
+	at50 := c.Pred(expr.Eq(expr.V("cnt"), expr.C(49)))
+	at150 := c.Pred(expr.Eq(expr.V("cnt"), expr.C(149)))
+	c.MarkExclusive(at50, at150)
+	c.AddTransition([]cfsm.Cond{cfsm.On(sel, 0), cfsm.On(pStart, 1)},
+		c.Assign(on, expr.C(1)), c.Assign(cnt, expr.C(0)))
+	c.AddTransition([]cfsm.Cond{cfsm.On(sel, 1), cfsm.On(pTick, 1), cfsm.On(at50, 1)},
+		c.Emit(end5), c.Assign(cnt, expr.Add(expr.V("cnt"), expr.C(1))))
+	c.AddTransition([]cfsm.Cond{cfsm.On(sel, 1), cfsm.On(pTick, 1), cfsm.On(at150, 1)},
+		c.Emit(end10), c.Assign(on, expr.C(0)), c.Assign(cnt, expr.C(0)))
+	c.AddTransition(
+		[]cfsm.Cond{cfsm.On(sel, 1), cfsm.On(pTick, 1), cfsm.On(at50, 0), cfsm.On(at150, 0)},
+		c.Assign(cnt, expr.Add(expr.V("cnt"), expr.C(1))))
+	return c
+}
+
+// TestReducedGraphAssembles gates the reduction engine at the object
+// code layer: a reduced s-graph must still assemble, the VM must match
+// the s-graph interpreter on it, and for a machine where the care set
+// actually removes a TEST the reduced code must not be larger.
+func TestReducedGraphAssembles(t *testing.T) {
+	prof := vm.HC11()
+	for _, tc := range []struct {
+		c        *cfsm.CFSM
+		wantElim bool
+	}{
+		{counter(), false},
+		{exclusiveTimer(), true},
+	} {
+		c := tc.c
+		plain := buildSG(t, c, sgraph.OrderSiftAfterSupport)
+		sigs := NewSignalMap(c)
+		pPlain, err := Assemble(plain, sigs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		g := buildSG(t, c, sgraph.OrderSiftAfterSupport)
+		stats := g.Reduce(sgraph.ReduceOptions{})
+		if tc.wantElim && stats.TestsEliminated == 0 {
+			t.Fatalf("%s: reduction eliminated no TEST: %s", c.Name, stats.String())
+		}
+		p, err := Assemble(g, sigs, Options{})
+		if err != nil {
+			t.Fatalf("%s: assemble reduced graph: %v", c.Name, err)
+		}
+		if stats.Changed() && prof.CodeSize(p) > prof.CodeSize(pPlain) {
+			t.Errorf("%s: reduced code grew: %d > %d bytes",
+				c.Name, prof.CodeSize(p), prof.CodeSize(pPlain))
+		}
+
+		rng := rand.New(rand.NewSource(23))
+		cntVals := []int64{0, 1, 48, 49, 50, 149, 150}
+		for i := 0; i < 150; i++ {
+			snap := c.NewSnapshot()
+			for _, in := range c.Inputs {
+				snap.Present[in] = rng.Intn(2) == 1
+				if !in.Pure {
+					snap.Values[in] = int64(rng.Intn(6))
+				}
+			}
+			for _, sv := range c.States {
+				if sv.Domain > 0 {
+					snap.State[sv] = int64(rng.Intn(sv.Domain))
+				} else {
+					snap.State[sv] = cntVals[rng.Intn(len(cntVals))]
+				}
+			}
+			want := g.Evaluate(snap)
+			gotEm, gotState := runVM(t, g, p, prof, snap, sigs)
+			if len(want.Emitted) != len(gotEm) {
+				t.Fatalf("%s iter %d: emissions %v vs %v", c.Name, i, want.Emitted, gotEm)
+			}
+			for j := range want.Emitted {
+				if want.Emitted[j].Signal != gotEm[j].Signal || want.Emitted[j].Value != gotEm[j].Value {
+					t.Fatalf("%s iter %d: emission %d differs", c.Name, i, j)
+				}
+			}
+			for _, sv := range c.States {
+				if want.NextState[sv] != gotState[sv] {
+					t.Fatalf("%s iter %d: state %s: want %d got %d",
+						c.Name, i, sv.Name, want.NextState[sv], gotState[sv])
+				}
+			}
+		}
+	}
+}

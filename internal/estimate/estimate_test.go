@@ -257,3 +257,46 @@ func TestParamsFormat(t *testing.T) {
 		t.Errorf("parameter rows: %d, want 32", n)
 	}
 }
+
+func TestReduceLowersEstimate(t *testing.T) {
+	// The fixed-point s-graph reduction uses the same MarkExclusive
+	// facts as false-path pruning, but rewrites the graph itself: with
+	// cnt==49 and cnt==149 declared exclusive, the inner threshold
+	// TEST is bypassed, so the structural estimate must drop (ROM) and
+	// must not worsen (cycles) — no false-path option needed.
+	c := cfsm.New("redest")
+	tick := c.AddInput("tick", true)
+	end5 := c.AddOutput("end5", true)
+	end10 := c.AddOutput("end10", true)
+	cnt := c.AddState("cnt", 0, 0)
+	p := c.Present(tick)
+	at50 := c.Pred(expr.Eq(expr.V("cnt"), expr.C(49)))
+	at150 := c.Pred(expr.Eq(expr.V("cnt"), expr.C(149)))
+	c.MarkExclusive(at50, at150)
+	bump := expr.Add(expr.V("cnt"), expr.C(1))
+	c.AddTransition([]cfsm.Cond{cfsm.On(p, 1), cfsm.On(at50, 1)},
+		c.Emit(end5), c.Assign(cnt, bump))
+	c.AddTransition([]cfsm.Cond{cfsm.On(p, 1), cfsm.On(at150, 1)},
+		c.Emit(end10), c.Assign(cnt, expr.C(0)))
+	c.AddTransition([]cfsm.Cond{cfsm.On(p, 1), cfsm.On(at50, 0), cfsm.On(at150, 0)},
+		c.Assign(cnt, bump))
+
+	g := buildSG(t, c)
+	params := mustCalibrate(t, vm.HC11())
+	plain := EstimateSGraph(g, params, Options{})
+
+	g2 := buildSG(t, c)
+	stats := g2.Reduce(sgraph.ReduceOptions{})
+	if stats.TestsEliminated == 0 {
+		t.Fatalf("reduction eliminated no TEST: %s", stats.String())
+	}
+	reduced := EstimateSGraph(g2, params, Options{})
+	if reduced.CodeBytes >= plain.CodeBytes {
+		t.Errorf("reduction must lower the ROM estimate: %d vs %d",
+			reduced.CodeBytes, plain.CodeBytes)
+	}
+	if reduced.MaxCycles > plain.MaxCycles {
+		t.Errorf("reduction must not worsen the cycle bound: %d vs %d",
+			reduced.MaxCycles, plain.MaxCycles)
+	}
+}

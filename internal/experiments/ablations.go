@@ -246,3 +246,101 @@ func FormatFalsePaths(prof *vm.Profile, rows []FalsePathRow) string {
 	}
 	return b.String()
 }
+
+// ReduceRow reports the s-graph reduction ablation for one CFSM:
+// plain versus reduced vertex counts, measured code size and cycle
+// bounds, and the estimator's ROM/WCET view of both graphs.
+type ReduceRow struct {
+	Module       string
+	PlainVerts   int
+	ReducedVerts int
+	PlainBytes   int64
+	ReducedBytes int64
+	PlainMaxCyc  int64
+	ReducedCyc   int64
+	EstPlainROM  int64
+	EstReducedR  int64
+	EstPlainMax  int64
+	EstReducedM  int64
+	Stats        sgraph.ReduceStats
+}
+
+// AblationReduce measures the fixed-point s-graph reduction engine
+// (sharing, don't-care TEST elimination, ASSIGN straightening) over
+// the dashboard and shock-absorber modules. Graphs straight out of
+// procedure build are already maximally shared, so the interesting
+// rows are the modules with declared test exclusivities (the timer's
+// at50/at150 predicates), where don't-care elimination removes TESTs
+// the BDD construction cannot see are unreachable.
+func AblationReduce(prof *vm.Profile) ([]ReduceRow, error) {
+	params, err := estimate.Calibrate(prof)
+	if err != nil {
+		return nil, err
+	}
+	var modules []*cfsm.CFSM
+	modules = append(modules, designs.NewDashboard().Modules()...)
+	modules = append(modules, designs.NewShockAbsorber().Modules()...)
+	var rows []ReduceRow
+	for _, m := range modules {
+		g, p, err := synthesize(m, sgraph.OrderSiftAfterSupport, codegen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		act, err := vm.AnalyzeCycles(prof, p, codegen.EntryLabel(m))
+		if err != nil {
+			return nil, err
+		}
+		plainEst := estimate.EstimateSGraph(g, params, estimate.Options{})
+		row := ReduceRow{
+			Module:      m.Name,
+			PlainVerts:  g.ComputeStats().Vertices,
+			PlainBytes:  int64(prof.CodeSize(p)),
+			PlainMaxCyc: act.Max,
+			EstPlainROM: plainEst.CodeBytes,
+			EstPlainMax: plainEst.MaxCycles,
+		}
+		// Rebuild and reduce.
+		r, err := cfsm.BuildReactive(m)
+		if err != nil {
+			return nil, err
+		}
+		g2, err := sgraph.Build(r, sgraph.OrderSiftAfterSupport)
+		if err != nil {
+			return nil, err
+		}
+		row.Stats = g2.Reduce(sgraph.ReduceOptions{})
+		p2, err := codegen.Assemble(g2, codegen.NewSignalMap(m), codegen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		act2, err := vm.AnalyzeCycles(prof, p2, codegen.EntryLabel(m))
+		if err != nil {
+			return nil, err
+		}
+		redEst := estimate.EstimateSGraph(g2, params, estimate.Options{})
+		row.ReducedVerts = g2.ComputeStats().Vertices
+		row.ReducedBytes = int64(prof.CodeSize(p2))
+		row.ReducedCyc = act2.Max
+		row.EstReducedR = redEst.CodeBytes
+		row.EstReducedM = redEst.MaxCycles
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatReduce renders the reduction ablation.
+func FormatReduce(prof *vm.Profile, rows []ReduceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: s-graph reduction engine, target %s\n", prof.Name)
+	fmt.Fprintf(&b, "%-14s %6s %6s %8s %8s %9s %9s %8s %8s %6s\n",
+		"CFSM", "v", "v'", "bytes", "bytes'", "maxcyc", "maxcyc'", "estROM", "estROM'", "elim")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %6d %6d %8d %8d %9d %9d %8d %8d %6d\n",
+			r.Module, r.PlainVerts, r.ReducedVerts,
+			r.PlainBytes, r.ReducedBytes,
+			r.PlainMaxCyc, r.ReducedCyc,
+			r.EstPlainROM, r.EstReducedR,
+			r.Stats.TestsEliminated)
+	}
+	return b.String()
+}

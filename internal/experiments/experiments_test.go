@@ -390,3 +390,36 @@ func TestRTABoundsSimulatedResponses(t *testing.T) {
 		}
 	}
 }
+
+// TestAblationReduce is the paper-style acceptance check for the
+// reduction engine: on the example designs at least one module (the
+// dashboard timer, whose at50/at150 predicates are declared exclusive)
+// must come out strictly smaller, with no-worse estimated ROM and
+// worst-case cycles; and no module may ever grow under reduction.
+func TestAblationReduce(t *testing.T) {
+	prof := vm.HC11()
+	rows, err := AblationReduce(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := false
+	for _, r := range rows {
+		if r.ReducedVerts > r.PlainVerts {
+			t.Errorf("%s: reduction grew the graph %d -> %d vertices",
+				r.Module, r.PlainVerts, r.ReducedVerts)
+		}
+		if r.ReducedVerts < r.PlainVerts &&
+			r.EstReducedR <= r.EstPlainROM && r.EstReducedM <= r.EstPlainMax {
+			improved = true
+		}
+		if r.Stats.Changed() && r.ReducedBytes > r.PlainBytes {
+			t.Errorf("%s: reduction grew the measured code %d -> %d bytes",
+				r.Module, r.PlainBytes, r.ReducedBytes)
+		}
+	}
+	if !improved {
+		t.Errorf("no module improved strictly with no-worse estimates:\n%s",
+			FormatReduce(prof, rows))
+	}
+	_ = FormatReduce(prof, rows)
+}

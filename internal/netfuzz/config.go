@@ -111,6 +111,7 @@ type Config struct {
 	Polling  bool              // some env signals delivered by polling
 	HW       bool              // one machine moves to the hardware partition
 	Chains   bool              // two software machines chained
+	Reduce   bool              // synthesize with s-graph reduction
 	Faults   Fault             // enabled fault injectors
 	Mutant   rtos.Mutant       // injected bad semantics (self-check only)
 }
@@ -182,10 +183,10 @@ func (c Config) String() string {
 	if c.Policy == rtos.StaticPriority {
 		policy = "prio"
 	}
-	return fmt.Sprintf("n=%d,topo=%s,stim=%d,gap=%d,hz=%d,policy=%s,preempt=%s,poll=%s,hw=%s,chain=%s,faults=%s,mutant=%s",
+	return fmt.Sprintf("n=%d,topo=%s,stim=%d,gap=%d,hz=%d,policy=%s,preempt=%s,poll=%s,hw=%s,chain=%s,reduce=%s,faults=%s,mutant=%s",
 		c.Machines, topoName(c.Topology), c.Stimuli, c.Gap, c.Horizon, policy,
 		boolName(c.Preempt), boolName(c.Polling), boolName(c.HW), boolName(c.Chains),
-		c.Faults, mutantName(c.Mutant))
+		boolName(c.Reduce), c.Faults, mutantName(c.Mutant))
 }
 
 // Parse decodes a Config from the String encoding. Unknown keys are
@@ -229,6 +230,8 @@ func Parse(s string) (Config, error) {
 			c.HW = v == "1"
 		case "chain":
 			c.Chains = v == "1"
+		case "reduce":
+			c.Reduce = v == "1"
 		case "faults":
 			c.Faults, err = parseFaults(v)
 		case "mutant":

@@ -236,7 +236,7 @@ func RunOne(seed int64, cfg Config) *Report {
 	run := func(mode sim.Mode, label string, ms *ModeStats) modeRun {
 		model := NewModel()
 		opt := sim.Options{
-			Cfg: rc, Mode: mode, Probe: model,
+			Cfg: rc, Mode: mode, Probe: model, Reduce: cfg.Reduce,
 			Check: sim.CheckOptions{VMAgainstReference: true, CycleBounds: true},
 		}
 		res, err, pmsg := runGuarded(net, stimuli, horizon, opt)
@@ -375,6 +375,11 @@ func RandomConfig(r *rand.Rand, mutant rtos.Mutant) Config {
 	if r.Intn(3) == 0 {
 		c.Chains = true
 	}
+	// Drawn after every pre-existing knob so adding reduction did not
+	// reshuffle the scenario shapes of historical seeds.
+	if r.Intn(2) == 0 {
+		c.Reduce = true
+	}
 	return c
 }
 
@@ -454,6 +459,9 @@ func shrinkCandidates(c Config) []Config {
 	}
 	if c.Chains {
 		add(func(d *Config) { d.Chains = false })
+	}
+	if c.Reduce {
+		add(func(d *Config) { d.Reduce = false })
 	}
 	if c.Policy == rtos.StaticPriority && !c.Preempt {
 		add(func(d *Config) { d.Policy = rtos.RoundRobin })

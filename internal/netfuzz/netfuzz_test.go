@@ -124,6 +124,44 @@ func TestFuzzCampaignRandom(t *testing.T) {
 	}
 }
 
+// TestFuzzCampaignReduce pins reduce-on coverage: every synthesized
+// task graph is reduced before code generation and the per-reaction
+// VM-against-reference check then gates the reduced object code. The
+// randomized campaign also draws reduce scenarios, but this fixed
+// config cannot rotate away. NETFUZZ_REDUCE_RUNS bumps the budget
+// (ci.sh).
+func TestFuzzCampaignReduce(t *testing.T) {
+	runs := 40
+	if s := os.Getenv("NETFUZZ_REDUCE_RUNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad NETFUZZ_REDUCE_RUNS %q: %v", s, err)
+		}
+		runs = n
+	}
+	cfg := DefaultConfig()
+	cfg.Reduce = true
+	var sb strings.Builder
+	res := Campaign(1, runs, cfg, false, &sb)
+	if len(res.Failures) != 0 {
+		t.Fatalf("reduce campaign found %d violations:\n%s", len(res.Failures), sb.String())
+	}
+}
+
+// TestConfigRoundTripReduce: the replay line must carry the reduce
+// knob through String/Parse unchanged.
+func TestConfigRoundTripReduce(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reduce = true
+	got, err := Parse(cfg.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Reduce {
+		t.Fatalf("reduce flag lost in round trip: %s -> %+v", cfg.String(), got)
+	}
+}
+
 // TestMutantSelfCheck proves the harness detects known-bad semantics:
 // for every rtos mutant, some seed in a small budget must trip the
 // expected invariant, the failure must replay deterministically from

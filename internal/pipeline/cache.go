@@ -65,6 +65,11 @@ func Fingerprint(m *cfsm.CFSM, opt Options) string {
 		opt.Ordering, opt.Target.Name,
 		opt.Codegen.OptimizeCopies, opt.Codegen.IfThreshold,
 		opt.UseFalsePaths)
+	if opt.Reduce {
+		fmt.Fprintf(h, "reduce iter=%d noshare=%v nodc=%v nostraighten=%v maxctx=%d\n",
+			opt.ReduceOpt.MaxIter, opt.ReduceOpt.NoShare, opt.ReduceOpt.NoDontCare,
+			opt.ReduceOpt.NoStraighten, opt.ReduceOpt.MaxContextNodes)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -110,9 +115,11 @@ type diskEntry struct {
 	Measured   vm.PathCycles
 	CodeSize   int
 	Stats      sgraph.Stats
+	Reduced    bool
+	Reduce     sgraph.ReduceStats
 }
 
-const diskSchema = 1
+const diskSchema = 2
 
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
@@ -150,6 +157,8 @@ func (c *Cache) Get(key string) (a *Artifact, fromDisk, ok bool) {
 		Measured:   e.Measured,
 		CodeSize:   e.CodeSize,
 		Stats:      e.Stats,
+		Reduced:    e.Reduced,
+		Reduce:     e.Reduce,
 	}
 	c.mu.Lock()
 	c.mem[key] = a
@@ -179,6 +188,8 @@ func (c *Cache) Put(key string, a *Artifact) {
 		Measured:   a.Measured,
 		CodeSize:   a.CodeSize,
 		Stats:      a.Stats,
+		Reduced:    a.Reduced,
+		Reduce:     a.Reduce,
 	})
 	if err != nil {
 		return

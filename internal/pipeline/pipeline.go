@@ -49,6 +49,13 @@ type Options struct {
 	// UseFalsePaths tightens the worst-case estimate using declared
 	// test exclusivities.
 	UseFalsePaths bool
+	// Reduce runs the fixed-point s-graph reduction engine (sharing,
+	// don't-care TEST elimination, ASSIGN straightening) between
+	// s-graph construction and code generation.
+	Reduce bool
+	// ReduceOpt tunes the reduction passes; the zero value runs all
+	// passes with default limits.
+	ReduceOpt sgraph.ReduceOptions
 }
 
 func (o *Options) fill() {
@@ -87,6 +94,11 @@ type Artifact struct {
 	CodeSize int           // measured bytes
 	Stats    sgraph.Stats  // s-graph structure statistics
 
+	// Reduced records whether the reduction stage ran; Reduce holds
+	// its statistics (zero value when the stage was off).
+	Reduced bool
+	Reduce  sgraph.ReduceStats
+
 	// Live handles; nil on a disk-cache hit.
 	CFSM    *cfsm.CFSM
 	SGraph  *sgraph.SGraph
@@ -103,7 +115,7 @@ func (a *Artifact) Report(target *vm.Profile) string {
 		errPct = fmt.Sprintf("%.1f%%",
 			100*float64(a.Estimate.CodeBytes-int64(a.CodeSize))/float64(a.CodeSize))
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		`CFSM %s: %d tests, %d actions, %d transitions
 s-graph: %d vertices (%d TEST, %d ASSIGN), depth %d, %d paths
 code: %d bytes measured (%d estimated, %s error)
@@ -113,6 +125,10 @@ cycles per transition: measured [%d, %d], estimated [%d, %d]
 		a.Stats.Vertices, a.Stats.Tests, a.Stats.Assigns, a.Stats.Depth, a.Stats.Paths,
 		a.CodeSize, a.Estimate.CodeBytes, errPct,
 		a.Measured.Min, a.Measured.Max, a.Estimate.MinCycles, a.Estimate.MaxCycles)
+	if a.Reduced {
+		s += fmt.Sprintf("reduce: %s\n", a.Reduce)
+	}
+	return s
 }
 
 // SynthesizeModule runs the complete per-CFSM flow of Section III —
@@ -155,6 +171,17 @@ func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 		CacheHits: mgr.Hits, CacheMisses: mgr.Misses,
 		CacheResets: mgr.CacheResets, CacheEvictions: mgr.Evictions})
 
+	var reduceStats sgraph.ReduceStats
+	if opt.Reduce {
+		t = time.Now()
+		reduceStats = g.Reduce(opt.ReduceOpt)
+		tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageReduce, Duration: time.Since(t)})
+		tr.Event(Event{Kind: EvReduce, Module: m.Name, Reduce: reduceStats})
+		if err := g.CheckWellFormed(); err != nil {
+			return nil, fmt.Errorf("pipeline: reduced s-graph: %w", err)
+		}
+	}
+
 	t = time.Now()
 	prog, err := codegen.Assemble(g, codegen.NewSignalMap(m), opt.Codegen)
 	if err != nil {
@@ -190,6 +217,8 @@ func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 		Measured:   meas,
 		CodeSize:   opt.Target.CodeSize(prog),
 		Stats:      g.ComputeStats(),
+		Reduced:    opt.Reduce,
+		Reduce:     reduceStats,
 		CFSM:       m,
 		SGraph:     g,
 		Program:    prog,

@@ -139,13 +139,14 @@ func TestFailFast(t *testing.T) {
 func TestCollectorReport(t *testing.T) {
 	net := testNetwork(t, 3, 5)
 	col := NewCollector()
-	if _, err := Run(net, Options{}, Config{Jobs: 2, Trace: col}); err != nil {
+	if _, err := Run(net, Options{Reduce: true}, Config{Jobs: 2, Trace: col}); err != nil {
 		t.Fatal(err)
 	}
 	rep := col.Report()
 	for _, want := range []string{
 		"pipeline: 5 module(s), 2 worker(s)",
-		"reactive", "sift", "s-graph", "codegen", "estimate",
+		"reactive", "sift", "s-graph", "reduce", "codegen", "estimate",
+		"reduce: 5 module(s)",
 		"bdd: peak", "sift swaps",
 		"cache: 0 hit(s) (0 from disk), 0 miss(es)",
 		"errors: none",

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"polis/internal/sgraph"
 )
 
 // Stage identifies one phase of the per-CFSM synthesis flow, in
@@ -23,6 +25,10 @@ const (
 	// StageSGraph constructs the s-graph from the ordered BDD
 	// (procedure build, Theorem 1).
 	StageSGraph
+	// StageReduce runs the fixed-point s-graph reduction engine
+	// (sharing, don't-care TEST elimination, ASSIGN straightening);
+	// only present when Options.Reduce is set.
+	StageReduce
 	// StageCodegen emits C, assembles object code and measures exact
 	// cycle bounds on the virtual target.
 	StageCodegen
@@ -41,6 +47,8 @@ func (s Stage) String() string {
 		return "sift"
 	case StageSGraph:
 		return "s-graph"
+	case StageReduce:
+		return "reduce"
 	case StageCodegen:
 		return "codegen"
 	case StageEstimate:
@@ -72,6 +80,8 @@ const (
 	EvCacheMiss
 	// EvModuleError reports a failed module with its error.
 	EvModuleError
+	// EvReduce reports the module's s-graph reduction statistics.
+	EvReduce
 )
 
 // Event is one observation emitted by the pipeline. Only the fields
@@ -105,6 +115,8 @@ type Event struct {
 	CacheEvictions int
 
 	FromDisk bool // EvCacheHit: served from the on-disk layer
+
+	Reduce sgraph.ReduceStats // EvReduce
 
 	Err error // EvModuleError
 }
@@ -142,6 +154,14 @@ type Collector struct {
 	siftPasses   int
 
 	bddHits, bddMisses, bddResets, bddEvicts int
+
+	reduceModules  int // modules that ran the reduction stage
+	reduceBefore   int // vertices entering reduction
+	reduceAfter    int // vertices leaving reduction
+	reduceTests    int // TEST vertices eliminated
+	reduceShares   int // vertices merged by hash-consing
+	reduceAssigns  int // dead ASSIGN vertices dropped
+	reduceRedirect int // infeasible edges redirected
 
 	hits, diskHits, misses int
 
@@ -183,6 +203,14 @@ func (c *Collector) Event(e Event) {
 		c.bddMisses += e.CacheMisses
 		c.bddResets += e.CacheResets
 		c.bddEvicts += e.CacheEvictions
+	case EvReduce:
+		c.reduceModules++
+		c.reduceBefore += e.Reduce.VerticesBefore
+		c.reduceAfter += e.Reduce.VerticesAfter
+		c.reduceTests += e.Reduce.TestsEliminated
+		c.reduceShares += e.Reduce.Shares
+		c.reduceAssigns += e.Reduce.AssignsDropped
+		c.reduceRedirect += e.Reduce.EdgesRedirected
 	case EvCacheHit:
 		c.hits++
 		if e.FromDisk {
@@ -245,6 +273,11 @@ func (c *Collector) Report() string {
 	if tot := c.bddHits + c.bddMisses; tot > 0 {
 		fmt.Fprintf(&b, "  bdd op-cache: %d hit(s), %d miss(es) (%.1f%% hit rate), %d reset(s), %d eviction(s)\n",
 			c.bddHits, c.bddMisses, 100*float64(c.bddHits)/float64(tot), c.bddResets, c.bddEvicts)
+	}
+	if c.reduceModules > 0 {
+		fmt.Fprintf(&b, "  reduce: %d module(s), vertices %d -> %d, %d test(s) eliminated, %d share(s), %d assign(s) dropped, %d edge(s) redirected\n",
+			c.reduceModules, c.reduceBefore, c.reduceAfter,
+			c.reduceTests, c.reduceShares, c.reduceAssigns, c.reduceRedirect)
 	}
 	fmt.Fprintf(&b, "  cache: %d hit(s) (%d from disk), %d miss(es)\n",
 		c.hits, c.diskHits, c.misses)

@@ -13,33 +13,44 @@ import "polis/internal/cfsm"
 // benchmark can reproduce that negative result.
 //
 // This implementation collapses the canonical closed shape: a TEST
-// vertex whose children are all TEST vertices over one common test,
-// with no edges entering the children from outside. It applies the
-// rewrite repeatedly to a fixed point, subject to a limit on the
+// vertex whose children are all TEST vertices over one common test
+// (compared structurally, so equal tests allocated separately still
+// match), with no edges entering the children from outside. It applies
+// the rewrite repeatedly to a fixed point, subject to a limit on the
 // combined arity, and returns the number of collapses performed.
+//
+// Parent counts are maintained incrementally across rewrites: a
+// collapse moves the grandchildren's in-edges from the absorbed
+// children to the root without changing any surviving vertex's
+// in-degree, and the absorbed children (whose only parent was the
+// root, by the closure condition) leave the graph. No other vertex's
+// collapsibility changes, so one scan with per-vertex re-examination
+// reaches the same fixed point as restarting from scratch — without
+// the full Parents() recomputation per rewrite that made the original
+// loop quadratic.
 func (g *SGraph) CollapseTests(maxArity int) int {
 	if maxArity <= 0 {
 		maxArity = 16
 	}
-	collapsed := 0
-	for {
-		changed := false
-		edgesFrom := func(v, c *Vertex) int {
-			n := 0
-			for _, ch := range v.Children {
-				if ch == c {
-					n++
-				}
+	edgesFrom := func(v, c *Vertex) int {
+		n := 0
+		for _, ch := range v.Children {
+			if ch == c {
+				n++
 			}
-			return n
 		}
-		parents := g.Parents()
-		for _, v := range g.Reachable() {
-			if v.Kind != Test {
-				continue
-			}
-			// All children must be TEST vertices over one common
-			// single test, closed under v.
+		return n
+	}
+	collapsed := 0
+	parents := g.Parents()
+	absorbed := make(map[*Vertex]bool)
+	for _, v := range g.Reachable() {
+		if v.Kind != Test || absorbed[v] {
+			continue
+		}
+		// Re-examine v until it no longer collapses: absorbing a layer
+		// of children can expose another common-test layer beneath.
+		for {
 			var common *cfsm.Test
 			ok := true
 			for _, c := range v.Children {
@@ -49,7 +60,7 @@ func (g *SGraph) CollapseTests(maxArity int) int {
 				}
 				if common == nil {
 					common = c.Tests[0]
-				} else if c.Tests[0] != common {
+				} else if testKey(c.Tests[0]) != testKey(common) {
 					ok = false
 					break
 				}
@@ -59,33 +70,33 @@ func (g *SGraph) CollapseTests(maxArity int) int {
 				}
 			}
 			if !ok || common == nil {
-				continue
+				break
 			}
 			// v must not itself test the common test already.
 			for _, t := range v.Tests {
-				if t == common {
+				if testKey(t) == testKey(common) {
 					ok = false
 					break
 				}
 			}
 			if !ok || v.Arity()*common.Arity() > maxArity {
-				continue
+				break
 			}
 			newChildren := make([]*Vertex, 0, v.Arity()*common.Arity())
 			for _, c := range v.Children {
 				newChildren = append(newChildren, c.Children...)
 			}
+			for _, c := range v.Children {
+				absorbed[c] = true
+				delete(parents, c)
+			}
 			v.Tests = append(v.Tests, common)
 			v.Children = newChildren
 			collapsed++
-			changed = true
-			break // parent counts are stale; recompute
-		}
-		if !changed {
-			if collapsed > 0 {
-				g.Vertices = g.Reachable() // drop absorbed vertices
-			}
-			return collapsed
 		}
 	}
+	if collapsed > 0 {
+		g.Vertices = g.Reachable() // drop absorbed vertices
+	}
+	return collapsed
 }

@@ -1,0 +1,512 @@
+package sgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"polis/internal/bdd"
+	"polis/internal/cfsm"
+	"polis/internal/mvar"
+)
+
+// This file implements the fixed-point s-graph reduction engine: the
+// graph-level optimisation layer between procedure build and code
+// generation. Three passes run to a fixed point:
+//
+//  1. ASSIGN-chain straightening drops assignments that are
+//     overwritten before any read along every path to END. Under
+//     copy-on-entry semantics (Section III-B1) expression operands
+//     read the pre-reaction snapshot, never the working state, so the
+//     only reader of a state-variable write is the post-reaction
+//     commit: an ASSIGN to x is dead iff every path from its
+//     successor contains another ASSIGN to x. This is
+//     codegen.AnalyzeCopies' write-before-read analysis lifted from
+//     copy suppression to vertex removal.
+//
+//  2. Don't-care TEST elimination propagates a reachability-context
+//     BDD per vertex — the disjunction over all BEGIN-to-v paths of
+//     the conjunction of test outcomes along each path, conjoined
+//     with the care set implied by cfsm.MarkExclusive declarations
+//     (the same declarations estimate's false-path pruning trusts).
+//     A TEST outcome whose edge constraint does not intersect the
+//     context can never be taken: the edge is redirected to a feasible
+//     sibling (making children uniform, which feeds sharing), and a
+//     TEST with a single feasible outcome is bypassed entirely.
+//
+//  3. DAG sharing hash-conses reachable vertices bottom-up on
+//     (kind, structural test/action identity, child identity), merging
+//     isomorphic subgraphs into true DAG fanout. Graphs straight out
+//     of FromChi are already maximally shared (construction memoises
+//     on canonical BDD nodes), so this pass exists to re-canonicalise
+//     after the other passes and after rewrites such as CollapseTests
+//     or hand construction.
+//
+// Every pass preserves the observable reaction (emission sequence,
+// last writer per state variable, the fired flag) on the care set;
+// CheckEquivalent is the exhaustive differential gate and the netfuzz
+// harness cross-checks reduced object code against the reference
+// interpreter on every simulated reaction.
+
+// ReduceOptions tunes the reduction engine. The zero value runs all
+// passes with default limits.
+type ReduceOptions struct {
+	// MaxIter caps the fixed-point iterations; <= 0 means 8.
+	MaxIter int
+	// Pass toggles, for ablation.
+	NoShare      bool
+	NoDontCare   bool
+	NoStraighten bool
+	// MaxContextNodes aborts the don't-care pass (leaving the graph
+	// untouched) if the context BDD manager grows past this many
+	// nodes; <= 0 means 1<<18.
+	MaxContextNodes int
+}
+
+// ReduceStats reports what Reduce did.
+type ReduceStats struct {
+	VerticesBefore, VerticesAfter int
+	TestsBefore, TestsAfter       int
+	AssignsBefore, AssignsAfter   int
+
+	Shares          int // vertices merged by hash-consing
+	TestsEliminated int // TEST vertices bypassed
+	EdgesRedirected int // infeasible TEST edges redirected
+	AssignsDropped  int // dead ASSIGN vertices removed
+	Iterations      int
+}
+
+// Changed reports whether any pass rewrote the graph.
+func (s ReduceStats) Changed() bool {
+	return s.Shares+s.TestsEliminated+s.EdgesRedirected+s.AssignsDropped > 0
+}
+
+func (s ReduceStats) String() string {
+	return fmt.Sprintf("vertices %d -> %d (%d TEST -> %d, %d ASSIGN -> %d): %d share(s), %d test(s) eliminated, %d edge(s) redirected, %d assign(s) dropped, %d iteration(s)",
+		s.VerticesBefore, s.VerticesAfter, s.TestsBefore, s.TestsAfter,
+		s.AssignsBefore, s.AssignsAfter,
+		s.Shares, s.TestsEliminated, s.EdgesRedirected, s.AssignsDropped,
+		s.Iterations)
+}
+
+// Reduce runs the reduction passes to a fixed point and compacts
+// g.Vertices to the reachable set. The graph must be well-formed; it
+// stays well-formed.
+func (g *SGraph) Reduce(opt ReduceOptions) ReduceStats {
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 8
+	}
+	before := g.ComputeStats()
+	st := ReduceStats{
+		VerticesBefore: before.Vertices,
+		TestsBefore:    before.Tests,
+		AssignsBefore:  before.Assigns,
+	}
+	for st.Iterations < maxIter {
+		st.Iterations++
+		changed := 0
+		if !opt.NoStraighten {
+			changed += g.straightenAssigns(&st)
+		}
+		if !opt.NoDontCare {
+			changed += g.eliminateDontCares(opt, &st)
+		}
+		if !opt.NoShare {
+			changed += g.shareSubgraphs(&st)
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	g.Vertices = g.Reachable()
+	after := g.ComputeStats()
+	st.VerticesAfter = after.Vertices
+	st.TestsAfter = after.Tests
+	st.AssignsAfter = after.Assigns
+	return st
+}
+
+// testKey is the structural identity of a test, mirroring the cfsm
+// package's interning keys so equal tests allocated separately (as in
+// hand-built graphs) compare equal.
+func testKey(t *cfsm.Test) string {
+	switch t.Kind {
+	case cfsm.TestPresence:
+		return "p:" + t.Signal.Name
+	case cfsm.TestPredicate:
+		return "e:" + t.Pred.C()
+	default:
+		return "s:" + t.Sel.Name
+	}
+}
+
+// actionKey is the structural identity of an action.
+func actionKey(a *cfsm.Action) string {
+	if a.Kind == cfsm.ActEmit {
+		if a.Value != nil {
+			return "e:" + a.Signal.Name + ":" + a.Value.C()
+		}
+		return "e:" + a.Signal.Name
+	}
+	return "a:" + a.Var.Name + ":" + a.Expr.C()
+}
+
+// outEdges returns v's outgoing edges (shared helper for the
+// traversals below; duplicates are meaningful for TEST vertices).
+func outEdges(v *Vertex) []*Vertex {
+	switch v.Kind {
+	case Test:
+		return v.Children
+	case Begin, Assign:
+		return []*Vertex{v.Next}
+	}
+	return nil
+}
+
+// topoOrder returns the reachable vertices with every parent strictly
+// before each of its children — a true topological order even for
+// shared DAGs, which the DFS preorder of Reachable is not (a shared
+// child may precede one of its parents there). Kahn's algorithm
+// seeded from BEGIN with a FIFO ready queue makes the order
+// deterministic: ties break on first discovery.
+func (g *SGraph) topoOrder() []*Vertex {
+	reach := g.Reachable()
+	indeg := make(map[*Vertex]int, len(reach))
+	for _, v := range reach {
+		for _, c := range outEdges(v) {
+			indeg[c]++
+		}
+	}
+	order := make([]*Vertex, 0, len(reach))
+	queue := []*Vertex{g.Begin}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, c := range outEdges(v) {
+			if indeg[c]--; indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return order
+}
+
+// resolve follows a forwarding chain to its representative, with path
+// compression.
+func resolve(forward map[*Vertex]*Vertex, v *Vertex) *Vertex {
+	r, ok := forward[v]
+	if !ok {
+		return v
+	}
+	r = resolve(forward, r)
+	forward[v] = r
+	return r
+}
+
+// applyForward rewrites every reachable edge through the forwarding
+// map. Forward targets are always vertices of the pre-rewrite graph,
+// so rewriting the pre-rewrite reachable set covers every edge that
+// can survive.
+func (g *SGraph) applyForward(forward map[*Vertex]*Vertex) {
+	if len(forward) == 0 {
+		return
+	}
+	for _, v := range g.Reachable() {
+		switch v.Kind {
+		case Test:
+			for i, c := range v.Children {
+				v.Children[i] = resolve(forward, c)
+			}
+		case Begin, Assign:
+			v.Next = resolve(forward, v.Next)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- 1
+
+// straightenAssigns removes ASSIGN vertices whose state-variable
+// write is overwritten on every path to END before the post-reaction
+// commit can read it. The kill set of a vertex — variables assigned
+// on every path from it to END — is a reverse-topological bitmask DP:
+// intersection over TEST children, union with the written variable
+// through an ASSIGN. The fired flag is preserved because on each such
+// path the overwriting ASSIGN still executes; emissions are untouched.
+func (g *SGraph) straightenAssigns(st *ReduceStats) int {
+	if len(g.C.States) == 0 || len(g.C.States) > 64 {
+		return 0 // bitmask DP; wider state spaces do not occur
+	}
+	bit := make(map[*cfsm.StateVar]uint64, len(g.C.States))
+	for i, sv := range g.C.States {
+		bit[sv] = 1 << i
+	}
+	order := g.topoOrder()
+	kill := make(map[*Vertex]uint64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		switch v.Kind {
+		case End:
+			kill[v] = 0
+		case Test:
+			k := ^uint64(0)
+			for _, c := range v.Children {
+				k &= kill[c]
+			}
+			kill[v] = k
+		case Begin:
+			kill[v] = kill[v.Next]
+		case Assign:
+			k := kill[v.Next]
+			if v.Action.Kind == cfsm.ActAssign {
+				k |= bit[v.Action.Var]
+			}
+			kill[v] = k
+		}
+	}
+	forward := make(map[*Vertex]*Vertex)
+	dropped := 0
+	for _, v := range order {
+		if v.Kind == Assign && v.Action.Kind == cfsm.ActAssign &&
+			kill[v.Next]&bit[v.Action.Var] != 0 {
+			forward[v] = v.Next
+			dropped++
+		}
+	}
+	g.applyForward(forward)
+	st.AssignsDropped += dropped
+	return dropped
+}
+
+// ---------------------------------------------------------------- 2
+
+// eliminateDontCares computes a reachability context per vertex in a
+// fresh multi-valued space (one variable per primitive test) and
+// rewrites TEST vertices whose context rules outcomes out. The
+// context of v is the exact condition on the test-outcome space under
+// which evaluation reaches v, intersected with the declared care set,
+// so an outcome whose edge cube does not intersect it can never be
+// taken at run time. Contexts are computed once on the pre-rewrite
+// graph; that stays exact through the single rewrite sweep because a
+// redirected edge only removes paths whose constraint conjunction was
+// already False, and a bypassed TEST contributes the outcome its
+// context implied. Second-order opportunities are caught by the next
+// fixed-point iteration.
+func (g *SGraph) eliminateDontCares(opt ReduceOptions, st *ReduceStats) int {
+	maxNodes := opt.MaxContextNodes
+	if maxNodes <= 0 {
+		maxNodes = 1 << 18
+	}
+	tests := g.C.Tests
+	if len(tests) == 0 {
+		return 0
+	}
+	sp := mvar.NewSpace()
+	m := sp.M
+	mvOf := make(map[*cfsm.Test]*mvar.MV, len(tests))
+	for _, t := range tests {
+		mvOf[t] = sp.NewMV(t.Name(), t.Arity(), mvar.Input)
+	}
+	order := g.topoOrder()
+	for _, v := range order {
+		if v.Kind != Test {
+			continue
+		}
+		for _, t := range v.Tests {
+			if mvOf[t] == nil {
+				return 0 // foreign test; nothing sound to conclude
+			}
+		}
+	}
+
+	// Care set: at most one test of each declared exclusivity group
+	// is true in any snapshot (cfsm.MarkExclusive's contract, trusted
+	// exactly as estimate's false-path pruning trusts it), and
+	// selector values stay inside their domain (Snapshot.EvalTest
+	// rejects out-of-domain state values).
+	care := bdd.True
+	for _, grp := range g.C.Exclusive {
+		for i := 0; i < len(grp); i++ {
+			for j := i + 1; j < len(grp); j++ {
+				if mvOf[grp[i]] == nil || mvOf[grp[j]] == nil {
+					continue
+				}
+				both := m.And(sp.Eq(mvOf[grp[i]], 1), sp.Eq(mvOf[grp[j]], 1))
+				care = m.And(care, m.Not(both))
+			}
+		}
+	}
+	for _, t := range tests {
+		if v := mvOf[t]; v.Size != 1<<uint(v.NumBits()) {
+			care = m.And(care, sp.ValidEncoding(v))
+		}
+	}
+
+	// Forward context propagation in topological order: every
+	// in-edge of a vertex is seen before the vertex itself.
+	ctx := make(map[*Vertex]bdd.Node, len(order))
+	for _, v := range order {
+		ctx[v] = bdd.False
+	}
+	ctx[g.Begin] = care
+	for _, v := range order {
+		c := ctx[v]
+		switch v.Kind {
+		case Test:
+			for idx, child := range v.Children {
+				cc := m.And(c, outcomeCube(sp, mvOf, v.Tests, idx))
+				ctx[child] = m.Or(ctx[child], cc)
+			}
+		case Begin, Assign:
+			ctx[v.Next] = m.Or(ctx[v.Next], c)
+		}
+		if m.NumNodes() > maxNodes {
+			return 0 // context blow-up: skip the pass this iteration
+		}
+	}
+
+	forward := make(map[*Vertex]*Vertex)
+	changed := 0
+	for _, v := range order {
+		if v.Kind != Test || ctx[v] == bdd.False {
+			continue // unreachable under the care set; dropped later
+		}
+		arity := len(v.Children)
+		feasible := make([]int, 0, arity)
+		for idx := 0; idx < arity; idx++ {
+			if m.Intersects(ctx[v], outcomeCube(sp, mvOf, v.Tests, idx)) {
+				feasible = append(feasible, idx)
+			}
+		}
+		if len(feasible) == 1 {
+			forward[v] = v.Children[feasible[0]]
+			st.TestsEliminated++
+			changed++
+			continue
+		}
+		if len(feasible) < arity && len(feasible) > 0 {
+			rep := v.Children[feasible[0]]
+			fi := 0
+			for idx := 0; idx < arity; idx++ {
+				if fi < len(feasible) && feasible[fi] == idx {
+					fi++
+					continue
+				}
+				if v.Children[idx] != rep {
+					v.Children[idx] = rep
+					st.EdgesRedirected++
+					changed++
+				}
+			}
+		}
+		// A TEST whose children all coincide decides nothing; bypass
+		// it unless it decodes a selector (FromChi keeps degenerate
+		// selector TESTs so the object code still reads the state
+		// value — respect that choice here).
+		if _, bypassed := forward[v]; !bypassed && uniformNonSelector(v) {
+			forward[v] = v.Children[0]
+			st.TestsEliminated++
+			changed++
+		}
+	}
+	g.applyForward(forward)
+	return changed
+}
+
+// uniformNonSelector reports whether v's children are all identical
+// and no constituent test is a selector.
+func uniformNonSelector(v *Vertex) bool {
+	for _, t := range v.Tests {
+		if t.Kind == cfsm.TestSelector {
+			return false
+		}
+	}
+	for _, c := range v.Children[1:] {
+		if c != v.Children[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// outcomeCube returns the constraint cube of one combined outcome of
+// a (possibly multi-test) TEST vertex, decoding the index in the same
+// mixed-radix order Evaluate composes it (first test most
+// significant).
+func outcomeCube(sp *mvar.Space, mvOf map[*cfsm.Test]*mvar.MV, tests []*cfsm.Test, idx int) bdd.Node {
+	cube := bdd.True
+	for i := len(tests) - 1; i >= 0; i-- {
+		a := tests[i].Arity()
+		cube = sp.M.And(cube, sp.Eq(mvOf[tests[i]], idx%a))
+		idx /= a
+	}
+	return cube
+}
+
+// ---------------------------------------------------------------- 3
+
+// shareSubgraphs hash-conses the reachable vertices bottom-up: two
+// vertices with the same kind, the same structural tests/action and
+// identical (already-canonicalised) children merge into one. Children
+// are processed before parents (reverse topological order), so each
+// vertex's children are canonical when its own key is formed and
+// forwarding chains never exceed one hop.
+func (g *SGraph) shareSubgraphs(st *ReduceStats) int {
+	order := g.topoOrder()
+	id := make(map[*Vertex]int, len(order))
+	for i, v := range order {
+		id[v] = i
+	}
+	rep := make(map[*Vertex]*Vertex)
+	canon := make(map[string]*Vertex, len(order))
+	merged := 0
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		switch v.Kind {
+		case Test:
+			for j, c := range v.Children {
+				if r, ok := rep[c]; ok {
+					v.Children[j] = r
+				}
+			}
+		case Begin, Assign:
+			if r, ok := rep[v.Next]; ok {
+				v.Next = r
+			}
+		}
+		if v.Kind == Begin {
+			continue
+		}
+		key := vertexKey(v, id)
+		if w, ok := canon[key]; ok && w != v {
+			rep[v] = w
+			merged++
+		} else if !ok {
+			canon[key] = v
+		}
+	}
+	st.Shares += merged
+	return merged
+}
+
+// vertexKey renders the hash-consing identity of a vertex. Child
+// identity uses the topological index of the (canonicalised) child.
+func vertexKey(v *Vertex, id map[*Vertex]int) string {
+	var b strings.Builder
+	switch v.Kind {
+	case End:
+		b.WriteString("E")
+	case Assign:
+		fmt.Fprintf(&b, "A|%s|%d", actionKey(v.Action), id[v.Next])
+	case Test:
+		b.WriteString("T")
+		for _, t := range v.Tests {
+			b.WriteString("|")
+			b.WriteString(testKey(t))
+		}
+		for _, c := range v.Children {
+			fmt.Fprintf(&b, "|%d", id[c])
+		}
+	}
+	return b.String()
+}

@@ -203,19 +203,13 @@ func (g *SGraph) CheckWellFormed() error {
 		grey  = 1
 		black = 2
 	)
-	color := make(map[*Vertex]int)
-	var visit func(v *Vertex) error
-	visit = func(v *Vertex) error {
-		switch color[v] {
-		case grey:
-			return fmt.Errorf("sgraph: cycle through vertex %d", v.ID)
-		case black:
-			return nil
-		}
-		color[v] = grey
+	// Iterative grey/black DFS with an explicit frame stack: deep
+	// TEST chains from large random networks must not overflow the
+	// goroutine stack (same precedent as the BDD kernel's iterative
+	// walks). Structure checks run on first visit, preserving the
+	// recursive version's error order.
+	check := func(v *Vertex) error {
 		switch v.Kind {
-		case End:
-			// sink
 		case Test:
 			if len(v.Tests) == 0 {
 				return fmt.Errorf("sgraph: TEST vertex %d with no tests", v.ID)
@@ -224,11 +218,6 @@ func (g *SGraph) CheckWellFormed() error {
 				return fmt.Errorf("sgraph: TEST vertex %d has %d children, want %d",
 					v.ID, len(v.Children), v.Arity())
 			}
-			for _, c := range v.Children {
-				if err := visit(c); err != nil {
-					return err
-				}
-			}
 		case Begin, Assign:
 			if v.Kind == Assign && v.Action == nil {
 				return fmt.Errorf("sgraph: ASSIGN vertex %d with no action", v.ID)
@@ -236,15 +225,52 @@ func (g *SGraph) CheckWellFormed() error {
 			if v.Next == nil {
 				return fmt.Errorf("sgraph: vertex %d has no next", v.ID)
 			}
-			if err := visit(v.Next); err != nil {
-				return err
-			}
 		}
-		color[v] = black
 		return nil
 	}
-	if err := visit(g.Begin); err != nil {
+	childAt := func(v *Vertex, i int) *Vertex {
+		switch v.Kind {
+		case Test:
+			if i < len(v.Children) {
+				return v.Children[i]
+			}
+		case Begin, Assign:
+			if i == 0 {
+				return v.Next
+			}
+		}
+		return nil
+	}
+	color := make(map[*Vertex]int)
+	type frame struct {
+		v    *Vertex
+		next int
+	}
+	if err := check(g.Begin); err != nil {
 		return err
+	}
+	color[g.Begin] = grey
+	stack := []frame{{g.Begin, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		c := childAt(f.v, f.next)
+		if c == nil {
+			color[f.v] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		f.next++
+		switch color[c] {
+		case grey:
+			return fmt.Errorf("sgraph: cycle through vertex %d", c.ID)
+		case black:
+			continue
+		}
+		if err := check(c); err != nil {
+			return err
+		}
+		color[c] = grey
+		stack = append(stack, frame{c, 0})
 	}
 	if color[g.End] != black {
 		return fmt.Errorf("sgraph: END not reachable from BEGIN")
@@ -258,27 +284,37 @@ func (g *SGraph) CheckWellFormed() error {
 }
 
 // Reachable returns the vertices reachable from BEGIN in a stable
-// topological order (parents before children).
+// DFS preorder (each vertex before anything first discovered through
+// it). Code generation lays statements out in exactly this order, so
+// the traversal below must stay byte-identical to the recursive
+// preorder it replaced; the explicit stack (children pushed in
+// reverse, seen-check on pop) visits the same sequence without
+// growing the goroutine stack on deep TEST chains.
 func (g *SGraph) Reachable() []*Vertex {
 	var order []*Vertex
 	seen := make(map[*Vertex]bool)
-	var visit func(v *Vertex)
-	visit = func(v *Vertex) {
+	stack := []*Vertex{g.Begin}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if seen[v] {
-			return
+			continue
 		}
 		seen[v] = true
 		order = append(order, v)
 		switch v.Kind {
 		case Test:
-			for _, c := range v.Children {
-				visit(c)
+			for i := len(v.Children) - 1; i >= 0; i-- {
+				if !seen[v.Children[i]] {
+					stack = append(stack, v.Children[i])
+				}
 			}
 		case Begin, Assign:
-			visit(v.Next)
+			if !seen[v.Next] {
+				stack = append(stack, v.Next)
+			}
 		}
 	}
-	visit(g.Begin)
 	return order
 }
 

@@ -72,6 +72,11 @@ type Options struct {
 	Profile  *vm.Profile
 	Ordering sgraph.Ordering
 	Codegen  codegen.Options
+	// Reduce runs the fixed-point s-graph reduction engine on every
+	// synthesized task graph before code generation; the differential
+	// checks then exercise reduced object code against the reference
+	// interpreter.
+	Reduce bool
 	// Probe, when non-nil, observes every delivery and execution in
 	// the underlying RTOS model (see rtos.Probe).
 	Probe rtos.Probe
@@ -220,6 +225,9 @@ func BuildVMTask(m *cfsm.CFSM, opt Options) (*rtos.Task, int64, int64, error) {
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	if opt.Reduce {
+		g.Reduce(sgraph.ReduceOptions{})
+	}
 	sigs := codegen.NewSignalMap(m)
 	prog, err := codegen.Assemble(g, sigs, opt.Codegen)
 	if err != nil {
@@ -281,6 +289,9 @@ func Run(n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result
 			g, err := sgraph.Build(r, opt.Ordering)
 			if err != nil {
 				return nil, err
+			}
+			if opt.Reduce {
+				g.Reduce(sgraph.ReduceOptions{})
 			}
 			est := estimate.EstimateSGraph(g, params, estimate.Options{Codegen: opt.Codegen})
 			res.CodeBytes += est.CodeBytes

@@ -48,6 +48,13 @@ type Options struct {
 	// UseFalsePaths tightens the worst-case estimate using declared
 	// test exclusivities.
 	UseFalsePaths bool
+	// Reduce runs the fixed-point s-graph reduction engine (DAG
+	// sharing, don't-care TEST elimination, ASSIGN straightening)
+	// between s-graph construction and code generation.
+	Reduce bool
+	// ReduceOpt tunes the reduction passes; the zero value runs all
+	// passes with default limits.
+	ReduceOpt sgraph.ReduceOptions
 }
 
 func (o *Options) fill() {
@@ -64,6 +71,8 @@ func (o Options) pipelineOptions() pipeline.Options {
 		Target:        o.Target,
 		Codegen:       o.Codegen,
 		UseFalsePaths: o.UseFalsePaths,
+		Reduce:        o.Reduce,
+		ReduceOpt:     o.ReduceOpt,
 	}
 }
 
