@@ -4,8 +4,10 @@
 # ownership checks enabled under the bdddebug build tag, a bounded
 # co-simulation fuzz smoke (fixed seeds, so failures are replayable
 # with the printed `polisc fuzz -seed ... -config ...` line) run both
-# with and without the s-graph reduction engine, and a
-# single-iteration benchmark smoke so the harness can't bit-rot.
+# with and without the s-graph reduction engine, a polisd service
+# end-to-end smoke under the race detector (ephemeral port, warm-cache
+# second pass, /stats, SIGTERM drain), and a single-iteration
+# benchmark smoke so the harness can't bit-rot.
 set -eux
 
 go vet ./...
@@ -15,4 +17,31 @@ go test -race ./...
 go test -tags bdddebug ./internal/bdd/
 NETFUZZ_RUNS=400 go test -race -run TestFuzzCampaignRandom ./internal/netfuzz/
 NETFUZZ_REDUCE_RUNS=200 go test -race -run TestFuzzCampaignReduce ./internal/netfuzz/
+
+# polisd e2e smoke: race-instrumented daemon on an ephemeral port.
+# The same single-client batch driven twice must hit the warm cache on
+# the second pass (4 misses + 4 mem hits = 50.0%), a concurrent burst
+# with edits must serve every request, /stats and /healthz must
+# answer, and SIGTERM must drain cleanly (exit 0, "drained" printed).
+tmp=$(mktemp -d)
+go build -race -o "$tmp/polisd" ./cmd/polisd
+"$tmp/polisd" -addr 127.0.0.1:0 -workers 2 >"$tmp/out" 2>"$tmp/err" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$tmp/out" && break
+    sleep 0.1
+done
+url=$(sed -n 's/^listening on //p' "$tmp/out")
+"$tmp/polisd" loadgen -url "$url" -n 2 -c 1 -networks 1 -modules 4 | tee "$tmp/load1"
+grep -q 'hit ratio 50.0%' "$tmp/load1"
+"$tmp/polisd" loadgen -url "$url" -n 200 -c 50 -networks 4 -modules 2 -edit-rate 0.1 -seed 7
+curl -fsS "$url/stats" | grep -q '"requests"'
+curl -fsS "$url/healthz" | grep -q ok
+kill -TERM "$pid"
+wait "$pid"
+grep -q '^drained$' "$tmp/out"
+trap - EXIT
+rm -rf "$tmp"
+
 ./bench.sh

@@ -1,0 +1,161 @@
+// Command polisd runs the POLIS synthesis flow as a long-running HTTP
+// service (see internal/polisd): clients POST CFSM networks in the
+// JSON wire format to /synthesize and receive per-module results as
+// an NDJSON stream (or one aggregate JSON object), backed by a
+// process-lifetime warm cache with singleflight dedup, so identical
+// modules — across requests and across clients — synthesize once and
+// an edited network re-synthesizes only its changed machines.
+//
+// Usage:
+//
+//	polisd [-addr host:port] [-workers N] [-queue N] [-max-batch N]
+//	       [-deadline dur] [-cache dir] [-quiet]
+//	polisd loadgen [-url http://...] [-n N] [-c N] [-networks N]
+//	       [-modules N] [-edit-rate f] [-seed N] [-deadline-ms N]
+//
+// The daemon prints "listening on http://host:port" once bound (use
+// -addr 127.0.0.1:0 for an ephemeral port) and drains gracefully on
+// SIGINT/SIGTERM: /healthz flips to 503, new synthesis requests are
+// rejected, in-flight requests finish. The loadgen subcommand drives
+// a running daemon with randomly generated networks, mutating them at
+// -edit-rate to exercise incremental re-synthesis, and reports
+// throughput, latency percentiles and the cache-hit ratio.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"polis/internal/polisd"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver; split from main so tests can execute it
+// with captured output and a controlled signal.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "loadgen" {
+		return runLoadgen(args[1:], stdout, stderr)
+	}
+	fs := flag.NewFlagSet("polisd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7315", "listen address (use :0 for an ephemeral port)")
+	workers := fs.Int("workers", 4, "concurrent synthesis workers")
+	queue := fs.Int("queue", 256, "admission queue depth (in-flight modules)")
+	maxBatch := fs.Int("max-batch", 256, "max machines per request")
+	deadline := fs.Duration("deadline", 30*time.Second, "default per-request deadline")
+	cacheDir := fs.String("cache", "", "on-disk artifact cache directory")
+	drainWait := fs.Duration("drain", time.Minute, "max wait for in-flight requests on shutdown")
+	quiet := fs.Bool("quiet", false, "suppress per-request logging")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Request handlers log concurrently; serialize writes so any
+	// io.Writer (a file, a test buffer) is safe.
+	var logMu sync.Mutex
+	lprintf := func(format string, a ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		fmt.Fprintf(stderr, "polisd: "+format+"\n", a...)
+	}
+	logf := lprintf
+	if *quiet {
+		logf = nil
+	}
+	srv, err := polisd.New(polisd.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxBatch:        *maxBatch,
+		DefaultDeadline: *deadline,
+		CacheDir:        *cacheDir,
+		Logf:            logf,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fail(stderr, err)
+	case <-ctx.Done():
+	}
+	stop()
+	lprintf("signal received, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(dctx); err != nil {
+		code = fail(stderr, err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		code = fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "drained\n")
+	return code
+}
+
+func runLoadgen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("polisd loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "http://127.0.0.1:7315", "service base URL")
+	n := fs.Int("n", 100, "total requests")
+	c := fs.Int("c", 8, "concurrent clients")
+	networks := fs.Int("networks", 0, "distinct base networks (0: one per client)")
+	modules := fs.Int("modules", 4, "machines per network")
+	editRate := fs.Float64("edit-rate", 0, "probability a request edits one machine first")
+	seed := fs.Int64("seed", 1, "generator seed")
+	deadlineMS := fs.Int("deadline-ms", 0, "per-request deadline sent to the server (0: server default)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "whole-run timeout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rep, err := polisd.RunLoad(ctx, polisd.LoadConfig{
+		URL:         *url,
+		Requests:    *n,
+		Concurrency: *c,
+		Networks:    *networks,
+		Modules:     *modules,
+		EditRate:    *editRate,
+		Seed:        *seed,
+		DeadlineMS:  *deadlineMS,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprint(stdout, rep)
+	if rep.Errors > 0 || rep.Status[http.StatusOK] != rep.Requests {
+		fmt.Fprintf(stderr, "polisd loadgen: not every request succeeded\n")
+		return 1
+	}
+	return 0
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "polisd: %v\n", err)
+	return 1
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"polis/internal/polisd"
+	"polis/internal/randcfsm"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL plus a channel carrying run's exit code after shutdown.
+func startDaemon(t *testing.T, extra ...string) (string, chan int, *bytes.Buffer) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	var stderr bytes.Buffer
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extra...)
+	go func() {
+		exit <- run(args, pw, &stderr)
+		pw.Close()
+	}()
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("daemon produced no output; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	url, ok := strings.CutPrefix(line, "listening on ")
+	if !ok {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	go io.Copy(io.Discard, pr) // keep the pipe drained
+	return url, exit, &stderr
+}
+
+func post(t *testing.T, url string, req polisd.SynthRequest) *polisd.SynthResponse {
+	t.Helper()
+	req.Aggregate = true
+	body, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(url+"/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(hr.Body)
+		t.Fatalf("status %d: %s", hr.StatusCode, b)
+	}
+	var resp polisd.SynthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp
+}
+
+// TestDaemonEndToEnd drives the real binary surface: boot on an
+// ephemeral port, synthesize a batch twice (second run all cache
+// hits), run the loadgen subcommand against it, read /stats, then
+// drain via SIGTERM.
+func TestDaemonEndToEnd(t *testing.T) {
+	url, exit, stderr := startDaemon(t)
+
+	net, _, err := randcfsm.NewNetwork(rand.New(rand.NewSource(3)), 3, randcfsm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := polisd.EncodeNetwork(net)
+
+	if resp := post(t, url, polisd.SynthRequest{Network: wire}); resp.Misses != 3 || resp.Errors != 0 {
+		t.Fatalf("cold batch: %+v", resp.SynthSummary)
+	}
+	if resp := post(t, url, polisd.SynthRequest{Network: wire}); resp.MemHits != 3 || resp.Misses != 0 {
+		t.Fatalf("warm batch not fully cached: %+v", resp.SynthSummary)
+	}
+
+	var lg bytes.Buffer
+	if code := run([]string{"loadgen", "-url", url, "-n", "40", "-c", "8", "-networks", "2", "-modules", "2", "-edit-rate", "0.2", "-seed", "5"}, &lg, &lg); code != 0 {
+		t.Fatalf("loadgen exit %d:\n%s", code, lg.String())
+	}
+	if !strings.Contains(lg.String(), "hit ratio") {
+		t.Errorf("loadgen report missing hit ratio:\n%s", lg.String())
+	}
+
+	hr, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st polisd.Stats
+	err = json.NewDecoder(hr.Body).Decode(&st)
+	hr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OK < 42 || st.Modules["miss"] == 0 || st.Report == "" {
+		t.Errorf("implausible stats after load: ok=%d modules=%v", st.OK, st.Modules)
+	}
+
+	// SIGTERM drains: the daemon catches it, finishes, and run
+	// returns 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exit %d; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain within 30s")
+	}
+	if !strings.Contains(stderr.String(), "draining") {
+		t.Errorf("drain not logged:\n%s", stderr.String())
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("daemon still serving after drain")
+	}
+}
+
+// TestBadFlags: unknown flags exit 2 without crashing.
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"loadgen", "-nope"}, &out, &out); code != 2 {
+		t.Fatalf("loadgen exit %d, want 2", code)
+	}
+}

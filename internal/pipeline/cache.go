@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"polis/internal/cfsm"
 	"polis/internal/estimate"
@@ -75,17 +77,42 @@ func Fingerprint(m *cfsm.CFSM, opt Options) string {
 
 // Cache is the content-addressed artifact cache: an always-on
 // in-memory map, optionally backed by an on-disk directory so hits
-// survive across processes. It is safe for concurrent use.
+// survive across processes. It is safe for concurrent use; lookups
+// take a read lock so concurrent hits never serialize each other.
 //
 // Artifacts served from memory carry their live SGraph/Program/CFSM
 // handles; artifacts restored from disk carry only the serialisable
 // payload (C, listing, estimates, measurements, s-graph statistics)
-// and have nil live handles. A corrupted or unreadable disk entry is
-// treated as a miss — the module is simply recompiled.
+// and have nil live handles. A truncated, corrupted or unreadable
+// disk entry is treated as a miss — the module is recompiled and the
+// bad entry overwritten by the following Put — and counted in
+// Stats().CorruptMisses.
+//
+// The cache also carries the singleflight registry used by the
+// pipeline (and by polisd across requests): at most one synthesis per
+// fingerprint is in flight at a time, concurrent missers wait for the
+// leader's artifact.
 type Cache struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	mem map[string]*Artifact
 	dir string
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// Counters are atomics so the hot read path never takes a write
+	// lock; lock-wait times expose contention on mu itself.
+	memHits, diskHits, misses, corrupt atomic.Int64
+	dedupJoins                         atomic.Int64
+	getWaitNs, putWaitNs               atomic.Int64
+}
+
+// flight is one in-progress synthesis; followers block on done, then
+// read a/err (the close happens-after both writes).
+type flight struct {
+	done chan struct{}
+	a    *Artifact
+	err  error
 }
 
 // NewCache creates a cache. With dir == "" the cache is in-memory
@@ -97,7 +124,64 @@ func NewCache(dir string) (*Cache, error) {
 			return nil, fmt.Errorf("pipeline: cache dir: %w", err)
 		}
 	}
-	return &Cache{mem: make(map[string]*Artifact), dir: dir}, nil
+	return &Cache{
+		mem:     make(map[string]*Artifact),
+		flights: make(map[string]*flight),
+		dir:     dir,
+	}, nil
+}
+
+// startFlight registers interest in synthesizing key. The first caller
+// becomes the leader (leader == true) and must call endFlight exactly
+// once; later callers receive the existing flight to wait on.
+func (c *Cache) startFlight(key string) (f *flight, leader bool) {
+	c.flightMu.Lock()
+	defer c.flightMu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		c.dedupJoins.Add(1)
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// endFlight publishes the leader's result and wakes the followers.
+func (c *Cache) endFlight(key string, f *flight, a *Artifact, err error) {
+	c.flightMu.Lock()
+	delete(c.flights, key)
+	c.flightMu.Unlock()
+	f.a, f.err = a, err
+	close(f.done)
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries       int           // in-memory artifacts
+	MemHits       int64         // hits served from memory
+	DiskHits      int64         // hits restored from the on-disk layer
+	Misses        int64         // lookups that found nothing usable
+	CorruptMisses int64         // subset of Misses: unreadable/truncated disk entries
+	DedupJoins    int64         // singleflight followers that joined an in-flight synthesis
+	GetWait       time.Duration // cumulative time spent waiting for the read lock
+	PutWait       time.Duration // cumulative time spent waiting for the write lock
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	entries := len(c.mem)
+	c.mu.RUnlock()
+	return CacheStats{
+		Entries:       entries,
+		MemHits:       c.memHits.Load(),
+		DiskHits:      c.diskHits.Load(),
+		Misses:        c.misses.Load(),
+		CorruptMisses: c.corrupt.Load(),
+		DedupJoins:    c.dedupJoins.Load(),
+		GetWait:       time.Duration(c.getWaitNs.Load()),
+		PutWait:       time.Duration(c.putWaitNs.Load()),
+	}
 }
 
 // diskEntry is the serialised form of an Artifact. Live handles
@@ -128,22 +212,30 @@ func (c *Cache) path(key string) string {
 // Get looks the key up, memory first, then disk. fromDisk reports
 // which layer served the hit.
 func (c *Cache) Get(key string) (a *Artifact, fromDisk, ok bool) {
-	c.mu.Lock()
+	t := time.Now()
+	c.mu.RLock()
+	c.getWaitNs.Add(time.Since(t).Nanoseconds())
 	a, ok = c.mem[key]
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	if ok {
+		c.memHits.Add(1)
 		return a, false, true
 	}
 	if c.dir == "" {
+		c.misses.Add(1)
 		return nil, false, false
 	}
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
+		c.misses.Add(1)
 		return nil, false, false
 	}
 	var e diskEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Schema != diskSchema || e.Module == "" {
-		// Corrupted or stale entry: fall back to a recompile.
+		// Truncated, corrupted or stale entry: a miss, never an error.
+		// The recompile's Put overwrites the bad file.
+		c.corrupt.Add(1)
+		c.misses.Add(1)
 		return nil, false, false
 	}
 	a = &Artifact{
@@ -160,17 +252,24 @@ func (c *Cache) Get(key string) (a *Artifact, fromDisk, ok bool) {
 		Reduced:    e.Reduced,
 		Reduce:     e.Reduce,
 	}
+	t = time.Now()
 	c.mu.Lock()
+	c.putWaitNs.Add(time.Since(t).Nanoseconds())
 	c.mem[key] = a
 	c.mu.Unlock()
+	c.diskHits.Add(1)
 	return a, true, true
 }
 
 // Put stores the artifact in memory and, when a directory is
 // configured, on disk. Disk writes are best-effort: an I/O failure
-// degrades the cache, it never fails the synthesis.
+// degrades the cache, it never fails the synthesis. The JSON
+// serialisation and the file write happen outside the lock, so slow
+// disks never serialize the workers.
 func (c *Cache) Put(key string, a *Artifact) {
+	t := time.Now()
 	c.mu.Lock()
+	c.putWaitNs.Add(time.Since(t).Nanoseconds())
 	c.mem[key] = a
 	c.mu.Unlock()
 	if c.dir == "" {
@@ -203,7 +302,7 @@ func (c *Cache) Put(key string, a *Artifact) {
 
 // Len returns the number of in-memory entries (for tests and stats).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.mem)
 }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"polis/internal/cfsm"
 	"polis/internal/codegen"
 	"polis/internal/sgraph"
 	"polis/internal/vm"
@@ -174,5 +175,67 @@ func TestDiskCacheCorruption(t *testing.T) {
 	}
 	if hits, diskHits, _ := col3.CacheCounters(); hits != 3 || diskHits != 3 {
 		t.Errorf("after repair want 3 disk hits, got %d (%d disk)", hits, diskHits)
+	}
+}
+
+// TestDiskCacheTruncatedMidWrite: an artifact file cut off mid-write
+// (a crash between the first byte and the last) is a miss, counted as
+// corrupt, recompiled, and overwritten with a good entry.
+func TestDiskCacheTruncatedMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	m := goodMachine("trunc")
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunModules([]*cfsm.CFSM{m}, Options{}, Config{Jobs: 1, Cache: c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want 1 cache file, got %d", len(entries))
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-way: valid JSON prefix, no closing brace.
+	if err := os.Truncate(path, int64(len(data)/2)); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c2.Get(Fingerprint(m, Options{})); ok {
+		t.Fatal("truncated entry must be a miss, not a hit")
+	}
+	st := c2.Stats()
+	if st.CorruptMisses != 1 || st.Misses != 1 {
+		t.Errorf("want 1 corrupt miss, got %+v", st)
+	}
+	// The recompile overwrites the truncated file with a good entry.
+	warm, err := RunModules([]*cfsm.CFSM{m}, Options{}, Config{Jobs: 1, Cache: c2})
+	if err != nil {
+		t.Fatalf("truncated cache must recompile, not fail: %v", err)
+	}
+	if warm[0].C != cold[0].C {
+		t.Error("recompiled artifact differs")
+	}
+	c3, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, fromDisk, ok := c3.Get(Fingerprint(m, Options{})); !ok || !fromDisk {
+		t.Errorf("repaired entry should hit from disk: ok=%v fromDisk=%v", ok, fromDisk)
+	}
+	if st := c3.Stats(); st.CorruptMisses != 0 {
+		t.Errorf("repaired entry still counted corrupt: %+v", st)
 	}
 }

@@ -21,6 +21,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -139,9 +140,21 @@ cycles per transition: measured [%d, %d], estimated [%d, %d]
 // manager is created and used entirely within this call, so
 // concurrent calls never share one.
 func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
+	return SynthesizeModuleContext(context.Background(), m, opt, tr)
+}
+
+// SynthesizeModuleContext is SynthesizeModule under a context: the
+// deadline or cancellation is checked between stages, so an abandoned
+// request stops consuming its worker at the next stage boundary (the
+// stages themselves are short; a module never runs more than one stage
+// past its cancellation).
+func SynthesizeModuleContext(ctx context.Context, m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 	opt.fill()
 	if tr == nil {
 		tr = nopTrace{}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	t := time.Now()
@@ -150,11 +163,17 @@ func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	t = time.Now()
 	err = sgraph.ApplyOrdering(r, opt.Ordering)
 	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageSift, Duration: time.Since(t)})
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -181,6 +200,9 @@ func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 			return nil, fmt.Errorf("pipeline: reduced s-graph: %w", err)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	t = time.Now()
 	prog, err := codegen.Assemble(g, codegen.NewSignalMap(m), opt.Codegen)
@@ -196,7 +218,7 @@ func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 	}
 
 	t = time.Now()
-	params, err := estimate.Calibrate(opt.Target)
+	params, err := estimate.CalibrateCached(opt.Target)
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +250,13 @@ func SynthesizeModule(m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, error) {
 // Run synthesizes every machine of the network through the concurrent
 // pipeline and returns the artifacts in the network's machine order.
 func Run(n *cfsm.Network, opt Options, cfg Config) ([]*Artifact, error) {
-	return RunModules(n.Machines, opt, cfg)
+	return RunContext(context.Background(), n, opt, cfg)
+}
+
+// RunContext is Run under a context; see RunModulesContext for the
+// cancellation contract.
+func RunContext(ctx context.Context, n *cfsm.Network, opt Options, cfg Config) ([]*Artifact, error) {
+	return RunModulesContext(ctx, n.Machines, opt, cfg)
 }
 
 // RunModules is Run over an explicit machine list. Results are
@@ -238,6 +266,15 @@ func Run(n *cfsm.Network, opt Options, cfg Config) ([]*Artifact, error) {
 // already in flight run to completion so their errors are attributed
 // too.
 func RunModules(machines []*cfsm.CFSM, opt Options, cfg Config) ([]*Artifact, error) {
+	return RunModulesContext(context.Background(), machines, opt, cfg)
+}
+
+// RunModulesContext is RunModules under a context: when the context is
+// cancelled or its deadline expires, no further modules are scheduled
+// (the same drain path fail-fast uses), in-flight modules stop at
+// their next stage boundary, and the context's error is returned. A
+// dead client therefore costs at most the work already dispatched.
+func RunModulesContext(ctx context.Context, machines []*cfsm.CFSM, opt Options, cfg Config) ([]*Artifact, error) {
 	opt.fill()
 	tr := cfg.Trace
 	if tr == nil {
@@ -266,13 +303,15 @@ func RunModules(machines []*cfsm.CFSM, opt Options, cfg Config) ([]*Artifact, er
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if failed.Load() {
-					continue // fail-fast: drain without synthesizing
+				if failed.Load() || ctx.Err() != nil {
+					continue // fail-fast/cancelled: drain without synthesizing
 				}
-				a, err := synthesizeCached(machines[i], opt, cfg.Cache, tr)
+				a, err := synthesizeCached(ctx, machines[i], opt, cfg.Cache, tr)
 				if err != nil {
-					moduleErrs[i] = fmt.Errorf("module %s: %w", machines[i].Name, err)
-					tr.Event(Event{Kind: EvModuleError, Module: machines[i].Name, Err: err})
+					if ctx.Err() == nil {
+						moduleErrs[i] = fmt.Errorf("module %s: %w", machines[i].Name, err)
+						tr.Event(Event{Kind: EvModuleError, Module: machines[i].Name, Err: err})
+					}
 					failed.Store(true)
 					continue
 				}
@@ -280,13 +319,33 @@ func RunModules(machines []*cfsm.CFSM, opt Options, cfg Config) ([]*Artifact, er
 			}
 		}()
 	}
+dispatch:
 	for i := range machines {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	tr.Event(Event{Kind: EvRunEnd, Duration: time.Since(start)})
+	ev := Event{Kind: EvRunEnd, Duration: time.Since(start)}
+	if cfg.Cache != nil {
+		st := cfg.Cache.Stats()
+		ev.Cache = &st
+	}
+	tr.Event(ev)
 
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for _, a := range results {
+			if a != nil {
+				done++
+			}
+		}
+		return nil, fmt.Errorf("pipeline: run cancelled after %d of %d module(s): %w",
+			done, len(machines), err)
+	}
 	if failed.Load() {
 		var agg []error
 		for _, e := range moduleErrs {
@@ -300,21 +359,93 @@ func RunModules(machines []*cfsm.CFSM, opt Options, cfg Config) ([]*Artifact, er
 	return results, nil
 }
 
-// synthesizeCached wraps SynthesizeModule with the cache lookup.
-func synthesizeCached(m *cfsm.CFSM, opt Options, cache *Cache, tr Trace) (*Artifact, error) {
+// synthesizeCached wraps SynthesizeModuleContext with the cache lookup
+// and the cache's singleflight layer.
+func synthesizeCached(ctx context.Context, m *cfsm.CFSM, opt Options, cache *Cache, tr Trace) (*Artifact, error) {
 	if cache == nil {
-		return SynthesizeModule(m, opt, tr)
+		return SynthesizeModuleContext(ctx, m, opt, tr)
 	}
+	a, _, err := cache.SynthesizeCached(ctx, m, opt, tr)
+	return a, err
+}
+
+// Outcome classifies how a cached synthesis was served.
+type Outcome int
+
+// Outcomes, from coldest to warmest.
+const (
+	// OutcomeMiss: this call ran the synthesis pipeline.
+	OutcomeMiss Outcome = iota
+	// OutcomeDedup: an identical synthesis was already in flight; this
+	// call waited for its artifact (singleflight join).
+	OutcomeDedup
+	// OutcomeDiskHit: restored from the on-disk cache layer.
+	OutcomeDiskHit
+	// OutcomeMemHit: served from the in-memory cache layer.
+	OutcomeMemHit
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeDedup:
+		return "dedup"
+	case OutcomeDiskHit:
+		return "disk"
+	case OutcomeMemHit:
+		return "mem"
+	default:
+		return fmt.Sprintf("outcome%d", int(o))
+	}
+}
+
+// SynthesizeCached synthesizes one module through the cache with
+// singleflight dedup: concurrent callers (workers of one run, or of
+// different runs and service requests sharing this Cache) that miss
+// on the same fingerprint elect one leader to synthesize while the
+// rest wait for its artifact instead of duplicating the work. The
+// returned Outcome reports which layer served the call. A nil tr
+// disables tracing.
+func (c *Cache) SynthesizeCached(ctx context.Context, m *cfsm.CFSM, opt Options, tr Trace) (*Artifact, Outcome, error) {
+	if tr == nil {
+		tr = nopTrace{}
+	}
+	opt.fill()
 	key := Fingerprint(m, opt)
-	if a, fromDisk, ok := cache.Get(key); ok {
-		tr.Event(Event{Kind: EvCacheHit, Module: m.Name, FromDisk: fromDisk})
-		return a, nil
+	for {
+		if a, fromDisk, ok := c.Get(key); ok {
+			tr.Event(Event{Kind: EvCacheHit, Module: m.Name, FromDisk: fromDisk})
+			if fromDisk {
+				return a, OutcomeDiskHit, nil
+			}
+			return a, OutcomeMemHit, nil
+		}
+		f, leader := c.startFlight(key)
+		if leader {
+			tr.Event(Event{Kind: EvCacheMiss, Module: m.Name})
+			a, err := SynthesizeModuleContext(ctx, m, opt, tr)
+			if err == nil {
+				c.Put(key, a)
+			}
+			c.endFlight(key, f, a, err)
+			return a, OutcomeMiss, err
+		}
+		tr.Event(Event{Kind: EvDedup, Module: m.Name})
+		select {
+		case <-f.done:
+			if f.err != nil {
+				// A leader that died of its own cancellation says nothing
+				// about this caller's request: retry (possibly becoming
+				// the new leader).
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					continue
+				}
+				return nil, OutcomeDedup, f.err
+			}
+			return f.a, OutcomeDedup, nil
+		case <-ctx.Done():
+			return nil, OutcomeDedup, ctx.Err()
+		}
 	}
-	tr.Event(Event{Kind: EvCacheMiss, Module: m.Name})
-	a, err := SynthesizeModule(m, opt, tr)
-	if err != nil {
-		return nil, err
-	}
-	cache.Put(key, a)
-	return a, nil
 }

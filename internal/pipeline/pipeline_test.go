@@ -1,9 +1,13 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"polis/internal/cfsm"
 	"polis/internal/randcfsm"
@@ -159,6 +163,209 @@ func TestCollectorReport(t *testing.T) {
 		if col.StageTotal(s) <= 0 {
 			t.Errorf("stage %s recorded no time", s)
 		}
+	}
+}
+
+// TestContextCancelledBeforeRun: an already-dead context schedules no
+// module at all and reports the context's error.
+func TestContextCancelledBeforeRun(t *testing.T) {
+	net := testNetwork(t, 17, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	col := NewCollector()
+	arts, err := RunContext(ctx, net, Options{}, Config{Jobs: 2, Trace: col})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if arts != nil {
+		t.Errorf("cancelled run returned %d artifacts", len(arts))
+	}
+	if got := col.StageTotal(StageReactive); got != 0 {
+		t.Errorf("reactive stage ran for %v despite pre-cancelled context", got)
+	}
+}
+
+// cancelAfterTrace cancels a context once the first module finishes
+// its reactive stage, so the run dies while modules remain unscheduled.
+type cancelAfterTrace struct {
+	cancel context.CancelFunc
+	inner  Trace
+	once   sync.Once
+}
+
+func (c *cancelAfterTrace) Event(e Event) {
+	c.inner.Event(e)
+	if e.Kind == EvStage && e.Stage == StageReactive {
+		c.once.Do(c.cancel)
+	}
+}
+
+// TestContextCancelMidRun: cancelling during the run stops scheduling
+// the remaining modules (the fail-fast drain path) and surfaces
+// context.Canceled.
+func TestContextCancelMidRun(t *testing.T) {
+	net := testNetwork(t, 19, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	col := NewCollector()
+	tr := &cancelAfterTrace{cancel: cancel, inner: col}
+	_, err := RunContext(ctx, net, Options{}, Config{Jobs: 1, Trace: tr})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// With one worker and cancellation at the first reactive event, the
+	// trailing modules must have been drained, not synthesized.
+	if n := col.Modules(); n != 12 {
+		t.Fatalf("run dispatched %d modules, want 12", n)
+	}
+	// Cancellation lands right after the first module's reactive stage,
+	// so no module ever reaches codegen.
+	if got := col.StageTotal(StageCodegen); got != 0 {
+		t.Errorf("codegen ran for %v despite mid-run cancellation", got)
+	}
+}
+
+// TestSingleflightFollowersShareOneRun pins the dedup path: while a
+// leader holds the in-flight slot for a fingerprint, concurrent
+// missers join the flight and receive the leader's artifact — the
+// pipeline runs exactly once.
+func TestSingleflightFollowersShareOneRun(t *testing.T) {
+	m := goodMachine("sf")
+	cache, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	key := Fingerprint(m, Options{})
+
+	// Occupy the flight slot as the leader.
+	f, leader := cache.startFlight(key)
+	if !leader {
+		t.Fatal("first startFlight must lead")
+	}
+
+	const followers = 8
+	var wg sync.WaitGroup
+	arts := make([]*Artifact, followers)
+	errs := make([]error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arts[i], errs[i] = synthesizeCached(context.Background(), m, Options{}, cache, col)
+		}(i)
+	}
+	// Wait until every follower has joined the flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for cache.Stats().DedupJoins < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers joined", cache.Stats().DedupJoins, followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Leader synthesizes once and publishes.
+	art, err := SynthesizeModule(m, Options{}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(key, art)
+	cache.endFlight(key, f, art, nil)
+	wg.Wait()
+
+	for i := 0; i < followers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("follower %d: %v", i, errs[i])
+		}
+		if arts[i] != art {
+			t.Errorf("follower %d received a different artifact", i)
+		}
+	}
+	if _, _, misses := col.CacheCounters(); misses != 0 {
+		t.Errorf("followers recorded %d misses; the leader's run is the only synthesis", misses)
+	}
+	if col.Dedups() != followers {
+		t.Errorf("collector saw %d dedups, want %d", col.Dedups(), followers)
+	}
+}
+
+// TestSingleflightLeaderCancelledRetries: a leader that dies of its own
+// cancellation must not poison followers whose requests are alive —
+// they retry and one becomes the new leader.
+func TestSingleflightLeaderCancelledRetries(t *testing.T) {
+	m := goodMachine("sfretry")
+	cache, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	key := Fingerprint(m, Options{})
+
+	f, leader := cache.startFlight(key)
+	if !leader {
+		t.Fatal("first startFlight must lead")
+	}
+	done := make(chan struct{})
+	var art *Artifact
+	var ferr error
+	go func() {
+		defer close(done)
+		art, ferr = synthesizeCached(context.Background(), m, Options{}, cache, col)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for cache.Stats().DedupJoins < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The leader's request dies; the follower must take over.
+	cache.endFlight(key, f, nil, context.Canceled)
+	<-done
+	if ferr != nil {
+		t.Fatalf("follower inherited the dead leader's cancellation: %v", ferr)
+	}
+	if art == nil {
+		t.Fatal("follower returned no artifact")
+	}
+	if _, _, misses := col.CacheCounters(); misses != 1 {
+		t.Errorf("retrying follower should synthesize exactly once, saw %d misses", misses)
+	}
+}
+
+// TestConcurrentRunsSynthesizeOnce: N concurrent whole-network runs
+// sharing one cache perform each module's synthesis exactly once in
+// total — every other lookup is a hit or a dedup join.
+func TestConcurrentRunsSynthesizeOnce(t *testing.T) {
+	net := testNetwork(t, 29, 6)
+	cache, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	const runs = 8
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Run(net, Options{}, Config{Jobs: 2, Cache: cache, Trace: col})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	hits, _, misses := col.CacheCounters()
+	if misses != 6 {
+		t.Errorf("%d misses across %d concurrent runs, want exactly 6 (one per module)", misses, runs)
+	}
+	if total := hits + col.Dedups() + misses; total != runs*6 {
+		t.Errorf("hits %d + dedups %d + misses %d = %d, want %d lookups",
+			hits, col.Dedups(), misses, total, runs*6)
 	}
 }
 

@@ -78,6 +78,11 @@ const (
 	// EvCacheHit and EvCacheMiss report artifact-cache lookups.
 	EvCacheHit
 	EvCacheMiss
+	// EvDedup reports a singleflight join: the module's fingerprint was
+	// already being synthesized by another worker (possibly of another
+	// concurrent run sharing the Cache), so this worker waited for that
+	// artifact instead of duplicating the synthesis.
+	EvDedup
 	// EvModuleError reports a failed module with its error.
 	EvModuleError
 	// EvReduce reports the module's s-graph reduction statistics.
@@ -115,6 +120,11 @@ type Event struct {
 	CacheEvictions int
 
 	FromDisk bool // EvCacheHit: served from the on-disk layer
+
+	// Cache is a snapshot of the run cache's counters, attached to
+	// EvRunEnd when the run had a cache: the per-lookup lock-wait
+	// totals are the worker pool's shared-lock contention surface.
+	Cache *CacheStats
 
 	Reduce sgraph.ReduceStats // EvReduce
 
@@ -163,7 +173,13 @@ type Collector struct {
 	reduceAssigns  int // dead ASSIGN vertices dropped
 	reduceRedirect int // infeasible edges redirected
 
-	hits, diskHits, misses int
+	hits, diskHits, misses, dedups int
+
+	cacheStats *CacheStats // last EvRunEnd snapshot (cumulative per cache)
+
+	// lockWaitNs measures contention on the collector's own mutex —
+	// the one lock every worker shares on every event.
+	lockWaitNs int64
 
 	errs []string
 }
@@ -173,7 +189,9 @@ func NewCollector() *Collector { return &Collector{} }
 
 // Event implements Trace.
 func (c *Collector) Event(e Event) {
+	t := time.Now()
 	c.mu.Lock()
+	c.lockWaitNs += time.Since(t).Nanoseconds()
 	defer c.mu.Unlock()
 	switch e.Kind {
 	case EvRunStart:
@@ -182,6 +200,10 @@ func (c *Collector) Event(e Event) {
 		c.workers = e.Workers
 	case EvRunEnd:
 		c.wall += e.Duration
+		if e.Cache != nil {
+			st := *e.Cache
+			c.cacheStats = &st
+		}
 	case EvStage:
 		if e.Stage >= 0 && e.Stage < numStages {
 			c.stageTotal[e.Stage] += e.Duration
@@ -218,6 +240,8 @@ func (c *Collector) Event(e Event) {
 		}
 	case EvCacheMiss:
 		c.misses++
+	case EvDedup:
+		c.dedups++
 	case EvModuleError:
 		c.errs = append(c.errs, fmt.Sprintf("%s: %v", e.Module, e.Err))
 	}
@@ -229,6 +253,20 @@ func (c *Collector) CacheCounters() (hits, diskHits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.diskHits, c.misses
+}
+
+// Dedups returns the number of singleflight joins observed so far.
+func (c *Collector) Dedups() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dedups
+}
+
+// Modules returns the total number of modules dispatched across runs.
+func (c *Collector) Modules() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.modules
 }
 
 // StageTotal returns the accumulated wall time of one stage.
@@ -279,8 +317,13 @@ func (c *Collector) Report() string {
 			c.reduceModules, c.reduceBefore, c.reduceAfter,
 			c.reduceTests, c.reduceShares, c.reduceAssigns, c.reduceRedirect)
 	}
-	fmt.Fprintf(&b, "  cache: %d hit(s) (%d from disk), %d miss(es)\n",
-		c.hits, c.diskHits, c.misses)
+	fmt.Fprintf(&b, "  cache: %d hit(s) (%d from disk), %d miss(es), %d dedup join(s)\n",
+		c.hits, c.diskHits, c.misses, c.dedups)
+	if cs := c.cacheStats; cs != nil {
+		fmt.Fprintf(&b, "  contention: cache get-wait %s, put-wait %s, trace lock-wait %s; %d corrupt disk entr%s\n",
+			round(cs.GetWait), round(cs.PutWait), round(time.Duration(c.lockWaitNs)),
+			cs.CorruptMisses, plural(cs.CorruptMisses, "y", "ies"))
+	}
 	if len(c.errs) == 0 {
 		b.WriteString("  errors: none\n")
 	} else {
@@ -292,6 +335,14 @@ func (c *Collector) Report() string {
 		}
 	}
 	return b.String()
+}
+
+// plural picks the singular or plural suffix for n.
+func plural(n int64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // round trims durations to a readable precision.

@@ -8,6 +8,7 @@ package randcfsm
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"polis/internal/cfsm"
 	"polis/internal/expr"
@@ -156,10 +157,17 @@ func generate(r *rand.Rand, cfg Config, c *cfsm.CFSM, prefix string,
 		}
 	}
 
-	// Build a random decision tree over distinct tests; each leaf
-	// either has no transition or a random action list. Disjointness
-	// of the leaves' guards makes the machine deterministic.
-	budget := cfg.MaxTransitions
+	m.growTransitions(r, ctrl, data, tests, cfg.MaxTransitions)
+	return m
+}
+
+// growTransitions builds a random decision tree over distinct tests;
+// each leaf either has no transition or a random action list.
+// Disjointness of the leaves' guards makes the machine deterministic.
+// At least one transition is always produced.
+func (m *Machine) growTransitions(r *rand.Rand, ctrl, data []*cfsm.StateVar,
+	tests []*cfsm.Test, budget int) {
+	c := m.C
 	var grow func(avail []*cfsm.Test, guard []cfsm.Cond, depth int)
 	grow = func(avail []*cfsm.Test, guard []cfsm.Cond, depth int) {
 		if budget <= 0 {
@@ -168,7 +176,7 @@ func generate(r *rand.Rand, cfg Config, c *cfsm.CFSM, prefix string,
 		if len(avail) == 0 || depth >= 3 || r.Intn(3) == 0 {
 			// Leaf: 2-in-3 chance of a transition.
 			if r.Intn(3) != 0 && len(guard) > 0 {
-				acts := m.randActions(ctrl, data)
+				acts := m.randActions(r, ctrl, data)
 				if len(acts) > 0 {
 					c.AddTransition(append([]cfsm.Cond(nil), guard...), acts...)
 					budget--
@@ -186,9 +194,90 @@ func generate(r *rand.Rand, cfg Config, c *cfsm.CFSM, prefix string,
 	grow(tests, nil, 0)
 	if len(c.Trans) == 0 {
 		// Guarantee at least one behaviour.
-		c.AddTransition([]cfsm.Cond{cfsm.On(tests[0], 1)}, m.randActions(ctrl, data)...)
+		c.AddTransition([]cfsm.Cond{cfsm.On(tests[0], 1)}, m.randActions(r, ctrl, data)...)
 	}
-	return m
+}
+
+// stateSplit partitions the machine's state variables the way generate
+// created them: control variables (finite domain) versus data.
+func (m *Machine) stateSplit() (ctrl, data []*cfsm.StateVar) {
+	for _, sv := range m.C.States {
+		if sv.Domain > 0 {
+			ctrl = append(ctrl, sv)
+		} else {
+			data = append(data, sv)
+		}
+	}
+	return ctrl, data
+}
+
+// transKey renders the transition relation (and the test pool it draws
+// from) in the same structural terms the pipeline's content-addressed
+// fingerprint hashes, so "transKey changed" implies "fingerprint
+// changed".
+func transKey(c *cfsm.CFSM) string {
+	var b strings.Builder
+	for _, t := range c.Tests {
+		fmt.Fprintf(&b, "t %s/%d\n", t.Name(), t.Arity())
+	}
+	for _, tr := range c.Trans {
+		for _, cond := range tr.Guard {
+			fmt.Fprintf(&b, " %d=%d", c.TestID(cond.Test), cond.Val)
+		}
+		b.WriteString(" ->")
+		for _, a := range tr.Actions {
+			fmt.Fprintf(&b, " %d", c.ActionID(a))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Mutate edits the machine in place the way a designer iterating on a
+// specification would: the transition relation is regrown from the
+// machine's existing test and state-variable pools, guaranteeing the
+// module's reactive function — and therefore its content-addressed
+// fingerprint — changes while the network wiring (signals, states,
+// interned tests of other machines) is untouched. This is the
+// incremental-resynthesis workload driver: mutate one machine of a
+// network, resubmit, and only that machine should miss the cache.
+//
+// The rng is taken explicitly (not m.Rng) so concurrent load
+// generators can mutate machines of disjoint networks without sharing
+// rng state.
+func Mutate(r *rand.Rand, m *Machine) {
+	c := m.C
+	ctrl, data := m.stateSplit()
+	old := transKey(c)
+	budget := len(c.Trans)
+	if budget < 4 {
+		budget = 4
+	}
+	for try := 0; try < 8; try++ {
+		c.Trans = nil
+		m.growTransitions(r, ctrl, data, append([]*cfsm.Test(nil), c.Tests...), budget)
+		if transKey(c) != old {
+			return
+		}
+	}
+	// Degenerate pools can regrow the same relation every time; force a
+	// visible edit with a fresh predicate test (new tests always change
+	// the fingerprint).
+	var operand expr.Expr = expr.C(1)
+	if len(data) > 0 {
+		operand = expr.V(data[0].Name)
+	}
+	t := c.Pred(expr.Ge(operand, expr.C(r.Int63n(m.Range+1)+m.Range)))
+	acts := m.randActions(r, ctrl, data)
+	if len(acts) == 0 && len(m.Outputs) > 0 {
+		out := m.Outputs[0]
+		if out.Pure {
+			acts = append(acts, c.Emit(out))
+		} else {
+			acts = append(acts, c.EmitV(out, expr.C(0)))
+		}
+	}
+	c.AddTransition([]cfsm.Cond{cfsm.On(t, 1)}, acts...)
 }
 
 // Topology selects how the machines of a generated network are wired.
@@ -277,9 +366,8 @@ func NewTopologyNetwork(r *rand.Rand, n int, cfg Config, topo Topology) (*cfsm.N
 }
 
 // randActions builds a non-conflicting action list.
-func (m *Machine) randActions(ctrl, data []*cfsm.StateVar) []*cfsm.Action {
+func (m *Machine) randActions(r *rand.Rand, ctrl, data []*cfsm.StateVar) []*cfsm.Action {
 	c := m.C
-	r := m.Rng
 	var acts []*cfsm.Action
 	assigned := map[*cfsm.StateVar]bool{}
 	n := 1 + r.Intn(3)

@@ -1,0 +1,56 @@
+package randcfsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"polis/internal/pipeline"
+)
+
+// TestMutateChangesExactlyOneFingerprint: mutating one machine of a
+// network changes that machine's content-addressed fingerprint and no
+// other's, keeps the network valid, and the mutant still synthesizes.
+func TestMutateChangesExactlyOneFingerprint(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		net, machines, err := NewNetwork(rand.New(rand.NewSource(seed)), 5, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := make([]string, len(machines))
+		for i, m := range machines {
+			before[i] = pipeline.Fingerprint(m.C, pipeline.Options{})
+		}
+		victim := int(seed) % len(machines)
+		Mutate(rand.New(rand.NewSource(seed+1000)), machines[victim])
+		for i, m := range machines {
+			after := pipeline.Fingerprint(m.C, pipeline.Options{})
+			if i == victim && after == before[i] {
+				t.Errorf("seed %d: mutating machine %d did not change its fingerprint", seed, i)
+			}
+			if i != victim && after != before[i] {
+				t.Errorf("seed %d: mutation of machine %d leaked into machine %d", seed, victim, i)
+			}
+		}
+		if err := net.Validate(); err != nil {
+			t.Errorf("seed %d: network invalid after mutation: %v", seed, err)
+		}
+		if _, err := pipeline.SynthesizeModule(machines[victim].C, pipeline.Options{}, nil); err != nil {
+			t.Errorf("seed %d: mutant does not synthesize: %v", seed, err)
+		}
+	}
+}
+
+// TestMutateDeterministic: the same rng seed produces the same edit.
+func TestMutateDeterministic(t *testing.T) {
+	fp := func() string {
+		_, machines, err := NewNetwork(rand.New(rand.NewSource(7)), 3, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		Mutate(rand.New(rand.NewSource(99)), machines[1])
+		return pipeline.Fingerprint(machines[1].C, pipeline.Options{})
+	}
+	if fp() != fp() {
+		t.Error("identical seeds produced different mutations")
+	}
+}

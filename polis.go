@@ -21,6 +21,7 @@
 package polis
 
 import (
+	"context"
 	"fmt"
 
 	"polis/internal/cfsm"
@@ -121,6 +122,15 @@ func Synthesize(m *cfsm.CFSM, opt Options) (*Artifacts, error) {
 func SynthesizeNetwork(n *cfsm.Network, opt Options, cfg pipeline.Config) ([]*pipeline.Artifact, error) {
 	opt.fill()
 	return pipeline.Run(n, opt.pipelineOptions(), cfg)
+}
+
+// SynthesizeNetworkContext is SynthesizeNetwork under a context, for
+// service callers (see cmd/polisd): cancellation or deadline expiry
+// stops scheduling remaining modules and aborts in-flight ones at
+// their next stage boundary, returning the context's error.
+func SynthesizeNetworkContext(ctx context.Context, n *cfsm.Network, opt Options, cfg pipeline.Config) ([]*pipeline.Artifact, error) {
+	opt.fill()
+	return pipeline.RunContext(ctx, n, opt.pipelineOptions(), cfg)
 }
 
 // SynthesizeSource parses an Esterel-subset module (see
