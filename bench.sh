@@ -12,6 +12,12 @@
 #                        and print a delta table against the most
 #                        recent run recorded in BENCH_bdd.json, without
 #                        touching the file (no benchstat dependency)
+#   ./bench.sh -compare -fail-over <pct>
+#                        as -compare, but additionally exit nonzero if
+#                        any benchmark regressed on ns/op by more than
+#                        <pct> percent versus the recorded run — an
+#                        opt-in perf gate for CI (pick a generous
+#                        threshold; shared runners are noisy)
 #
 # BENCH_bdd.json is an array of run objects
 #   [{"date":"YYYY-MM-DD","label":"<commit>","benchmarks":[{...},...]}]
@@ -21,12 +27,14 @@
 # are absorbed as a run labelled "legacy" on the next -full.
 set -eu
 
-PATTERN='BenchmarkTable2Orderings|BenchmarkSynthesizeNetwork|BenchmarkAblationReduce'
+PATTERN='BenchmarkTable2Orderings|BenchmarkSynthesizeNetwork|BenchmarkAblationReduce|BenchmarkCharFn'
 OUT=BENCH_bdd.json
 
+# run_benches honors an optional BENCHTIME override (any -benchtime
+# value, e.g. "10ms" or "1x") so CI can bound a -compare run's cost.
 run_benches() {
-    go test -run '^$' -bench "$PATTERN" -benchmem .
-    go test -run '^$' -bench . -benchmem ./internal/bdd/
+    go test -run '^$' -bench "$PATTERN" -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} .
+    go test -run '^$' -bench . -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} ./internal/bdd/
 }
 
 # parse_benches: stdin is `go test -bench` output; stdout is one JSON
@@ -132,10 +140,44 @@ END {
 }' "$1" "$2"
 }
 
+# check_regressions OLDFILE NEWFILE PCT: exit 1 when any benchmark's
+# ns/op regressed beyond PCT percent against the recorded run. New
+# benchmarks (no old entry) never fail the gate.
+check_regressions() {
+    awk -v limit="$3" '
+function val(line, key,   m) {
+    if (match(line, "\"" key "\":[0-9.]+")) {
+        m = substr(line, RSTART, RLENGTH)
+        sub(/^[^:]*:/, "", m)
+        return m
+    }
+    return ""
+}
+function nm(line,   m) {
+    match(line, /"name":"[^"]*"/)
+    return substr(line, RSTART + 8, RLENGTH - 9)
+}
+NR == FNR { old[nm($0)] = val($0, "ns_per_op"); next }
+{
+    name = nm($0); o = old[name]; n = val($0, "ns_per_op")
+    if (o != "" && n != "" && o + 0 > 0) {
+        pct = 100 * (n - o) / o
+        if (pct > limit + 0) {
+            printf "REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%% > %s%%)\n", name, o, n, pct, limit
+            bad = 1
+        }
+    }
+}
+END { exit bad }' "$1" "$2" || {
+        echo "bench.sh: ns/op regression beyond ${3}% threshold" >&2
+        exit 1
+    }
+    echo "no ns/op regression beyond ${3}%"
+}
+
 case "${1:-}" in
 "")
-    go test -run '^$' -bench "$PATTERN" -benchmem -benchtime=1x .
-    go test -run '^$' -bench . -benchmem -benchtime=1x ./internal/bdd/
+    BENCHTIME=1x run_benches
     ;;
 -full)
     TMP=$(mktemp) NEW=$(mktemp)
@@ -145,6 +187,10 @@ case "${1:-}" in
     append_run "$NEW"
     ;;
 -compare)
+    FAILOVER=
+    if [ "${2:-}" = "-fail-over" ]; then
+        FAILOVER=${3:?"-fail-over needs a percentage"}
+    fi
     TMP=$(mktemp) NEW=$(mktemp) OLD=$(mktemp)
     trap 'rm -f "$TMP" "$NEW" "$OLD"' EXIT
     latest_run >"$OLD"
@@ -157,6 +203,9 @@ case "${1:-}" in
     echo
     printf "%-40s %12s %12s %8s %10s %10s %8s\n" benchmark "old ns/op" "new ns/op" delta "old B/op" "new B/op" allocs
     compare_runs "$OLD" "$NEW"
+    if [ -n "$FAILOVER" ]; then
+        check_regressions "$OLD" "$NEW" "$FAILOVER"
+    fi
     ;;
 *)
     echo "usage: ./bench.sh [-full|-compare]" >&2

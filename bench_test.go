@@ -26,6 +26,7 @@ import (
 	"sync"
 	"testing"
 
+	"polis/internal/cfsm"
 	"polis/internal/experiments"
 	"polis/internal/pipeline"
 	"polis/internal/randcfsm"
@@ -270,6 +271,50 @@ func BenchmarkSGraphBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCharFn measures the wide characteristic-function build —
+// chi = AND_j (z_j <-> f_j(x)) over a population of random machines —
+// the BDD-heaviest step of the synthesis front end and the shape the
+// complement-edge representation targets (every output literal is
+// paired with its complement). It reports the classical node count
+// (chi-size), the physical count after complement-edge sharing
+// (chi-shared), and the kernel's peak live nodes and op-cache hit
+// rate.
+func BenchmarkCharFn(b *testing.B) {
+	cfg := randcfsm.Config{
+		MaxInputs:      6,
+		MaxOutputs:     6,
+		MaxControlVars: 3,
+		MaxDataVars:    2,
+		MaxTransitions: 40,
+		ValueRange:     8,
+	}
+	const machines = 12
+	var classical, shared, peak, hitPct float64
+	for i := 0; i < b.N; i++ {
+		classical, shared, peak, hitPct = 0, 0, 0, 0
+		r := rand.New(rand.NewSource(1995))
+		for k := 0; k < machines; k++ {
+			mach := randcfsm.New(r, cfg)
+			react, err := cfsm.BuildReactive(mach.C)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := react.Space.M
+			classical += float64(m.Size(react.Chi))
+			shared += float64(m.SharedSize(react.Chi))
+			peak += float64(m.PeakNodes)
+			if tot := m.Hits + m.Misses; tot > 0 {
+				hitPct += 100 * float64(m.Hits) / float64(tot)
+			}
+		}
+		hitPct /= machines
+	}
+	b.ReportMetric(classical, "chi-size")
+	b.ReportMetric(shared, "chi-shared")
+	b.ReportMetric(peak, "peak-nodes")
+	b.ReportMetric(hitPct, "cache-hit-%")
 }
 
 func abs(f float64) float64 {

@@ -45,3 +45,11 @@ trap - EXIT
 rm -rf "$tmp"
 
 ./bench.sh
+
+# Bounded perf-regression smoke: short-benchtime timings compared to
+# the last recorded -full run, failing only on order-of-magnitude
+# blowups (the generous threshold absorbs shared-runner noise; the
+# real measurement lives in bench.sh -full / -compare).
+if [ -f BENCH_bdd.json ]; then
+    BENCHTIME=10ms ./bench.sh -compare -fail-over 400
+fi

@@ -525,12 +525,12 @@ func TestProtectUnprotect(t *testing.T) {
 	if err := m.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if m.nodes[f].dead && !f.IsConst() {
+	if m.nodes[f>>1].dead && !f.IsConst() {
 		t.Fatal("node collected while still protected")
 	}
 	m.Unprotect(f)
 	m.GC()
-	if !f.IsConst() && !m.nodes[f].dead {
+	if !f.IsConst() && !m.nodes[f>>1].dead {
 		t.Fatal("unprotected node not collected")
 	}
 }
@@ -569,5 +569,120 @@ func TestDot(t *testing.T) {
 		if !strings.Contains(dot, needle) {
 			t.Errorf("dot missing %q", needle)
 		}
+	}
+}
+
+// TestDotComplementArcs checks the negated-edge rendering: XOR has a
+// complemented internal else arc, and its complement handle gives a
+// complemented root edge — both must carry the odot arrow tail, and
+// then arcs never do (canonical form keeps them regular).
+func TestDotComplementArcs(t *testing.T) {
+	m := New()
+	vs := newVars(m, 2)
+	x := m.Xor(m.VarNode(vs[0]), m.VarNode(vs[1]))
+	dot := m.Dot(x, m.Not(x))
+	if !strings.Contains(dot, "style=dashed, dir=both, arrowtail=odot") {
+		t.Errorf("complemented else arc not rendered with odot tail:\n%s", dot)
+	}
+	if !strings.Contains(dot, "root1 -> ") || !strings.Contains(dot, "[dir=both, arrowtail=odot]") {
+		t.Errorf("complemented root handle not rendered with odot tail:\n%s", dot)
+	}
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, "odot") && !strings.Contains(line, "dashed") &&
+			!strings.Contains(line, "root") {
+			t.Errorf("then arc rendered complemented: %s", line)
+		}
+	}
+	// Both polarities share every physical node: the two roots must
+	// point at the same node id.
+	if m.SharedSize(x, m.Not(x)) != m.SharedSize(x) {
+		t.Errorf("complement pair does not share nodes")
+	}
+}
+
+// TestCheckInvariantsDetectsComplementedHi corrupts a live node's hi
+// arc with a complement bit — the exact violation of the canonical
+// form a bug in mk or swapLevels would produce — and requires
+// CheckInvariants to detect it, then restores the node and requires a
+// clean report.
+func TestCheckInvariantsDetectsComplementedHi(t *testing.T) {
+	m := New()
+	vs := newVars(m, 4)
+	f := randomFunc(m, vs, rand.New(rand.NewSource(77)))
+	m.Protect(f)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("clean manager reported dirty: %v", err)
+	}
+	// Find a live node whose hi arc is an internal node (so the
+	// complement bit actually flips a followable arc).
+	corrupt := -1
+	for i := 1; i < len(m.nodes); i++ {
+		if nd := &m.nodes[i]; !nd.dead && nd.hi > 1 {
+			corrupt = i
+			break
+		}
+	}
+	if corrupt < 0 {
+		t.Skip("no internal hi arc in this diagram")
+	}
+	m.nodes[corrupt].hi ^= 1
+	err := m.CheckInvariants()
+	if err == nil {
+		t.Fatal("CheckInvariants missed a complemented hi arc")
+	}
+	if !strings.Contains(err.Error(), "complemented hi arc") {
+		t.Fatalf("wrong diagnosis for complemented hi arc: %v", err)
+	}
+	m.nodes[corrupt].hi ^= 1
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("restored manager still dirty: %v", err)
+	}
+}
+
+// TestNotAllocatesNoNodes pins the headline complement-edge property:
+// Not is a handle bit flip. It must create no nodes, must round-trip
+// exactly, and — outside the bdddebug build, whose owner check itself
+// allocates — must not allocate at all.
+func TestNotAllocatesNoNodes(t *testing.T) {
+	m := New()
+	vs := newVars(m, 8)
+	f := randomFunc(m, vs, rand.New(rand.NewSource(11)))
+	m.Protect(f)
+	before := m.NumNodes()
+	g := m.Not(f)
+	if m.NumNodes() != before {
+		t.Fatalf("Not created nodes: %d -> %d", before, m.NumNodes())
+	}
+	if g == f {
+		t.Fatal("Not returned its argument")
+	}
+	if m.Not(g) != f {
+		t.Fatal("double complement did not restore the handle")
+	}
+	if got := m.Size(g); got != m.Size(f) {
+		t.Fatalf("complement classical size %d != original %d", got, m.Size(f))
+	}
+	if ownerChecks {
+		return // goid() in the debug owner check allocates
+	}
+	if avg := testing.AllocsPerRun(100, func() { g = m.Not(g) }); avg != 0 {
+		t.Fatalf("Not allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// BenchmarkNot measures the complemented-handle flip; allocs/op must
+// report 0 (asserted by TestNotAllocatesNoNodes, visible in -benchmem).
+func BenchmarkNot(b *testing.B) {
+	m := New()
+	vs := newVars(m, 12)
+	f := randomFunc(m, vs, rand.New(rand.NewSource(3)))
+	m.Protect(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f = m.Not(f)
+	}
+	if f == False && b.N == 0 {
+		b.Fatal("unreachable; keeps f live")
 	}
 }

@@ -1,59 +1,28 @@
 // Package bdd implements reduced ordered binary decision diagrams
-// (ROBDDs) with complement edges, in the style of Brace, Rudell and
-// Bryant's ITE package and of CUDD, with the operations the POLIS
+// (ROBDDs) in the style of Bryant, with the operations the POLIS
 // software-synthesis flow needs: ITE, specialized AND/OR/XOR applies,
 // cofactoring, existential quantification (smoothing), support
 // computation, and dynamic variable reordering by sifting (Rudell)
 // with precedence constraints and variable groups.
 //
-// # Complement edges
-//
-// A Node handle packs an arena index and a complement bit:
-// handle = index<<1 | c. The handle denotes the function stored at the
-// index, complemented when c is set. One physical terminal (arena
-// index 0) denotes the constant false, so False is handle 0 and True
-// is its complement, handle 1 — the zero-value Node still denotes the
-// constant false, exactly as before the rewrite. (CUDD names its one
-// terminal "one" and reaches false through a complemented edge; the
-// two conventions are isomorphic, and keeping the zero terminal keeps
-// Go's zero value meaningful.)
-//
-// Canonical form: the hi (then) arc stored in a node is always
-// regular (complement bit clear); only lo (else) arcs and external
-// handles may be complemented. mk enforces the form by complementing
-// both children and returning a complemented handle whenever the hi
-// child arrives complemented — ¬f and f share every physical node, so
-// Not is a one-bit flip on the handle that allocates nothing, and
-// functions paired with their complements (characteristic functions
-// are full of such pairs) cost up to half the nodes they used to.
-// The diagrams remain strongly canonical: two handles are equal if
+// Nodes are identified by small integer handles into an arena owned by
+// a Manager. Handle 0 is the constant false, handle 1 the constant
+// true. The diagrams are strongly canonical: two handles are equal if
 // and only if the functions they denote are equal (under the current
-// variable order). In-place adjacent-level swaps preserve the
-// function denoted by every handle, so handles stay valid across
-// reordering.
-//
-// Size deliberately still counts classical nodes — one per distinct
-// reachable subfunction, i.e. per reachable (physical node, polarity)
-// pair — so sizes, sift costs, and therefore final sift orders are
-// byte-identical to the pre-complement kernel and to the recorded
-// golden orders. SharedSize counts physical arena nodes, which is
-// where the up-to-2× complement-edge saving shows.
+// variable order). In-place adjacent-level swaps preserve the function
+// denoted by every handle, so handles remain valid across reordering.
 //
 // # Storage layer
 //
 // The kernel follows mature BDD packages (CUDD): per-variable unique
-// tables are flat open-addressing hash tables storing regular node
-// handles (see uniqueTable), and all operations share one fixed-size,
+// tables are flat open-addressing hash tables storing node handles
+// (see uniqueTable), and all operations share one fixed-size,
 // direct-mapped, lossy operation cache whose entries carry a
-// generation stamp (see cacheEntry). Before a cache lookup, ITE
-// normalises its operands to a standard triple (first argument and
-// then-branch regular, complement carried out of the call) and the
-// commuting applies sort theirs, so all equivalent calls share one
-// cache entry. Reordering swaps and garbage collection invalidate the
-// cache by bumping the generation counter — no reallocation, no
-// traffic for Go's GC — which matters because sifting performs
-// thousands of adjacent swaps per pass. The Hits and Misses
-// statistics therefore count a lossy cache: a collision evicts
+// generation stamp (see cacheEntry). Reordering swaps and garbage
+// collection invalidate the cache by bumping the generation counter —
+// no reallocation, no traffic for Go's GC — which matters because
+// sifting performs thousands of adjacent swaps per pass. The Hits and
+// Misses statistics therefore count a lossy cache: a collision evicts
 // silently and a later miss may recompute a previously cached result.
 //
 // Garbage collection marks from the protected roots with an iterative
@@ -77,7 +46,7 @@
 // and the mk-reaching helpers VarNode/NVarNode) then panics when
 // called from a goroutine other than the owner (see owner_debug.go);
 // a deliberate handoff can re-bind ownership with TransferOwnership.
-package bdd
+package refbdd
 
 import (
 	"fmt"
@@ -85,9 +54,7 @@ import (
 	"strings"
 )
 
-// Node is a handle to a BDD function within a Manager: an arena index
-// shifted left once, with the complement bit in bit 0. Handles with
-// the low bit clear are called regular.
+// Node is a handle to a BDD node within a Manager.
 type Node int32
 
 // Var identifies a BDD variable. Variables are created in sequence by
@@ -95,21 +62,19 @@ type Node int32
 // that reordering may change.
 type Var int32
 
-// Terminal handles: the one physical terminal (arena index 0) denotes
-// the constant false, and True is its complemented handle.
+// Terminal nodes.
 const (
 	False Node = 0
 	True  Node = 1
 )
 
-// IsConst reports whether n denotes one of the two constant functions
-// (both are handles onto the single physical terminal).
+// IsConst reports whether n is one of the two terminal nodes.
 func (n Node) IsConst() bool { return n == False || n == True }
 
 type node struct {
-	v    Var  // variable label; -1 for the terminal
-	lo   Node // else arc; may carry a complement bit
-	hi   Node // then arc; always regular (canonical form)
+	v    Var // variable label; -1 for terminals
+	lo   Node
+	hi   Node
 	mark bool // GC mark bit
 	dead bool // on the free list
 }
@@ -118,7 +83,7 @@ type node struct {
 type Manager struct {
 	nodes  []node
 	unique []uniqueTable // per-variable unique tables, indexed by Var
-	free   []Node        // recycled arena slots (regular handles)
+	free   []Node        // recycled arena slots
 
 	perm    []int // Var -> level
 	invperm []Var // level -> Var
@@ -164,11 +129,8 @@ type Manager struct {
 	// Evictions counts live cache entries overwritten by a colliding
 	// store (the cost of the lossy direct-mapped design).
 	Evictions int
-	// PeakNodes is the high-water mark of live arena (physical) nodes,
-	// the paper's "peak BDD size" figure of merit for an ordering.
-	// With complement edges a physical node serves both polarities, so
-	// this is the memory figure, not the classical node count Size
-	// reports.
+	// PeakNodes is the high-water mark of live arena nodes, the
+	// paper's "peak BDD size" figure of merit for an ordering.
 	PeakNodes int
 	// SiftPasses counts completed sifting passes.
 	SiftPasses int
@@ -201,9 +163,9 @@ func New() *Manager {
 	if ownerChecks {
 		m.owner = goid()
 	}
-	// The single terminal occupies arena slot 0.
-	m.nodes = append(m.nodes, node{v: -1})
-	m.liveAfterGC = 1
+	// Terminals occupy slots 0 and 1.
+	m.nodes = append(m.nodes, node{v: -1}, node{v: -1})
+	m.liveAfterGC = 2
 	m.autoGCMin = 4096
 	return m
 }
@@ -231,9 +193,8 @@ func (m *Manager) TransferOwnership() {
 // NumVars returns the number of variables created so far.
 func (m *Manager) NumVars() int { return len(m.perm) }
 
-// NumNodes returns the number of live physical nodes in the arena,
-// including the terminal. A function and its complement share nodes,
-// so this tracks memory, not classical BDD size (see Size).
+// NumNodes returns the number of live nodes in the arena, including
+// the two terminals.
 func (m *Manager) NumNodes() int { return len(m.nodes) - len(m.free) }
 
 // NewVar creates a fresh variable placed at the bottom of the current
@@ -260,10 +221,9 @@ func (m *Manager) Level(v Var) int { return m.perm[v] }
 func (m *Manager) VarAt(level int) Var { return m.invperm[level] }
 
 // levelOf returns the order level of the labelling variable of n, or a
-// value larger than any level for terminals. The complement bit does
-// not affect the level.
+// value larger than any level for terminals.
 func (m *Manager) levelOf(n Node) int {
-	v := m.nodes[n>>1].v
+	v := m.nodes[n].v
 	if v < 0 {
 		return int(^uint(0) >> 1) // max int
 	}
@@ -275,53 +235,42 @@ func (m *Manager) VarOf(n Node) Var {
 	if n.IsConst() {
 		panic("bdd: VarOf on terminal")
 	}
-	return m.nodes[n>>1].v
+	return m.nodes[n].v
 }
 
-// LowHigh returns the two cofactor children of a non-terminal handle,
-// with the handle's complement bit pushed into both (a complemented
-// function has complemented cofactors), so the returned handles
-// denote the cofactors of the function n denotes.
+// LowHigh returns the two cofactor children of a non-terminal node.
 func (m *Manager) LowHigh(n Node) (lo, hi Node) {
 	if n.IsConst() {
 		panic("bdd: LowHigh on terminal")
 	}
-	c := n & 1
-	nd := &m.nodes[n>>1]
-	return nd.lo ^ c, nd.hi ^ c
+	nd := &m.nodes[n]
+	return nd.lo, nd.hi
 }
 
-// mk returns the canonical handle for (v, lo, hi), creating the node
-// if necessary. The children must be labelled by variables strictly
-// below v in the current order. Canonical form is enforced here: when
-// the hi child is complemented, both children are complemented and
-// the returned handle carries the complement instead, so stored hi
-// arcs are always regular and each function/complement pair owns one
-// physical node.
+// mk returns the canonical node (v, lo, hi), creating it if necessary.
+// The children must be labelled by variables strictly below v in the
+// current order.
 func (m *Manager) mk(v Var, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	c := hi & 1
-	lo ^= c
-	hi ^= c
 	if n := m.unique[v].lookup(m.nodes, lo, hi); n != 0 {
-		return n ^ c
+		return n
 	}
 	var n Node
 	if len(m.free) > 0 {
 		n = m.free[len(m.free)-1]
 		m.free = m.free[:len(m.free)-1]
-		m.nodes[n>>1] = node{v: v, lo: lo, hi: hi}
+		m.nodes[n] = node{v: v, lo: lo, hi: hi}
 	} else {
-		n = Node(len(m.nodes)) << 1
+		n = Node(len(m.nodes))
 		m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
 	}
 	if live := len(m.nodes) - len(m.free); live > m.PeakNodes {
 		m.PeakNodes = live
 	}
 	m.unique[v].insert(m.nodes, lo, hi, n)
-	return n ^ c
+	return n
 }
 
 // VarNode returns the function that is true exactly when v is true.
@@ -383,7 +332,7 @@ func (m *Manager) gc(extra []Node) {
 	for i := range cnt {
 		cnt[i] = 0
 	}
-	for i := 1; i < len(m.nodes); i++ {
+	for i := 2; i < len(m.nodes); i++ {
 		nd := &m.nodes[i]
 		if !nd.dead && nd.mark {
 			cnt[nd.v]++
@@ -392,45 +341,43 @@ func (m *Manager) gc(extra []Node) {
 	for v := range m.unique {
 		m.unique[v].reset(int(cnt[v]))
 	}
-	live := 1
-	for i := 1; i < len(m.nodes); i++ {
+	live := 2
+	for i := 2; i < len(m.nodes); i++ {
 		nd := &m.nodes[i]
 		if nd.dead {
-			m.free = append(m.free, Node(i)<<1)
+			m.free = append(m.free, Node(i))
 			continue
 		}
 		if nd.mark {
 			nd.mark = false
-			m.unique[nd.v].insert(m.nodes, nd.lo, nd.hi, Node(i)<<1)
+			m.unique[nd.v].insert(m.nodes, nd.lo, nd.hi, Node(i))
 			live++
 			continue
 		}
 		nd.dead = true
-		m.free = append(m.free, Node(i)<<1)
+		m.free = append(m.free, Node(i))
 	}
 	m.liveAfterGC = live
 }
 
-// mark sets the GC mark bit on every physical node reachable from r
-// (reachability ignores complement bits), using an explicit stack of
-// arena indices (reused across calls) so arbitrarily deep diagrams
+// mark sets the GC mark bit on every node reachable from r, using an
+// explicit stack (reused across calls) so arbitrarily deep diagrams
 // cannot overflow the goroutine stack.
 func (m *Manager) mark(r Node) {
-	i := r >> 1
-	if i == 0 || m.nodes[i].mark {
+	if r.IsConst() || m.nodes[r].mark {
 		return
 	}
-	m.nodes[i].mark = true
-	stack := append(m.markStack[:0], i)
+	m.nodes[r].mark = true
+	stack := append(m.markStack[:0], r)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nd := &m.nodes[n]
-		if lo := nd.lo >> 1; lo != 0 && !m.nodes[lo].mark {
+		if lo := nd.lo; !lo.IsConst() && !m.nodes[lo].mark {
 			m.nodes[lo].mark = true
 			stack = append(stack, lo)
 		}
-		if hi := nd.hi >> 1; hi != 0 && !m.nodes[hi].mark {
+		if hi := nd.hi; !hi.IsConst() && !m.nodes[hi].mark {
 			m.nodes[hi].mark = true
 			stack = append(stack, hi)
 		}
@@ -440,14 +387,12 @@ func (m *Manager) mark(r Node) {
 
 // visitEpoch starts a read-only traversal epoch: it returns a stamp
 // distinct from every stamp in m.visited, growing the stamp array to
-// cover both polarities of every arena slot (walks stamp by handle, so
-// a node's two polarities are tracked independently where the walk
-// needs it). Stamped traversals replace per-call map[Node]bool scratch
-// in the hot Size path (called once per candidate position during
-// sifting).
+// cover the arena. Stamped traversals replace per-call map[Node]bool
+// scratch in the hot Size path (called once per candidate position
+// during sifting).
 func (m *Manager) visitEpoch() uint32 {
-	if need := 2 * len(m.nodes); len(m.visited) < need {
-		grown := make([]uint32, need+need/2)
+	if len(m.visited) < len(m.nodes) {
+		grown := make([]uint32, len(m.nodes)+len(m.nodes)/2)
 		copy(grown, m.visited)
 		m.visited = grown
 	}
@@ -461,13 +406,8 @@ func (m *Manager) visitEpoch() uint32 {
 	return m.visitGen
 }
 
-// Size returns the number of classical (complement-free) ROBDD nodes
-// of the functions rooted at the given handles: one per distinct
-// reachable subfunction, i.e. per reachable (physical node, polarity)
-// pair, shared subfunctions counted once. This is deliberately the
-// same count the pre-complement kernel reported, so sift costs and
-// recorded golden sizes are unchanged by the representation. See
-// SharedSize for the physical arena footprint.
+// Size returns the number of non-terminal nodes reachable from the
+// given roots (shared nodes counted once).
 func (m *Manager) Size(roots ...Node) int {
 	gen := m.visitEpoch()
 	stack := m.markStack[:0]
@@ -482,47 +422,12 @@ func (m *Manager) Size(roots ...Node) int {
 			n := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			count++
-			c := n & 1
-			nd := &m.nodes[n>>1]
-			if lo := nd.lo ^ c; !lo.IsConst() && m.visited[lo] != gen {
+			nd := &m.nodes[n]
+			if lo := nd.lo; !lo.IsConst() && m.visited[lo] != gen {
 				m.visited[lo] = gen
 				stack = append(stack, lo)
 			}
-			if hi := nd.hi ^ c; !hi.IsConst() && m.visited[hi] != gen {
-				m.visited[hi] = gen
-				stack = append(stack, hi)
-			}
-		}
-	}
-	m.markStack = stack[:0]
-	return count
-}
-
-// SharedSize returns the number of physical non-terminal arena nodes
-// reachable from the given roots: a function and its complement share
-// every node, so this is the memory footprint. It is at most Size and
-// smaller — down to half — exactly when complement-edge sharing pays.
-func (m *Manager) SharedSize(roots ...Node) int {
-	gen := m.visitEpoch()
-	stack := m.markStack[:0]
-	count := 0
-	for _, r := range roots {
-		r &^= 1
-		if r == 0 || m.visited[r] == gen {
-			continue
-		}
-		m.visited[r] = gen
-		stack = append(stack, r)
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			count++
-			nd := &m.nodes[n>>1]
-			if lo := nd.lo &^ 1; lo != 0 && m.visited[lo] != gen {
-				m.visited[lo] = gen
-				stack = append(stack, lo)
-			}
-			if hi := nd.hi; hi != 0 && m.visited[hi] != gen {
+			if hi := nd.hi; !hi.IsConst() && m.visited[hi] != gen {
 				m.visited[hi] = gen
 				stack = append(stack, hi)
 			}
@@ -535,38 +440,36 @@ func (m *Manager) SharedSize(roots ...Node) int {
 // Eval evaluates the function denoted by n under the given assignment.
 func (m *Manager) Eval(n Node, assign func(Var) bool) bool {
 	for !n.IsConst() {
-		c := n & 1
-		nd := &m.nodes[n>>1]
+		nd := &m.nodes[n]
 		if assign(nd.v) {
-			n = nd.hi ^ c
+			n = nd.hi
 		} else {
-			n = nd.lo ^ c
+			n = nd.lo
 		}
 	}
 	return n == True
 }
 
 // Support returns the variables the function denoted by n essentially
-// depends on, in increasing Var order. Complements do not change
-// support, so the walk visits physical nodes.
+// depends on, in increasing Var order.
 func (m *Manager) Support(n Node) []Var {
 	gen := m.visitEpoch()
 	stack := m.markStack[:0]
 	inSup := make([]bool, len(m.perm))
-	if n &^= 1; n != 0 {
+	if !n.IsConst() {
 		m.visited[n] = gen
 		stack = append(stack, n)
 	}
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		nd := &m.nodes[x>>1]
+		nd := &m.nodes[x]
 		inSup[nd.v] = true
-		if lo := nd.lo &^ 1; lo != 0 && m.visited[lo] != gen {
+		if lo := nd.lo; !lo.IsConst() && m.visited[lo] != gen {
 			m.visited[lo] = gen
 			stack = append(stack, lo)
 		}
-		if hi := nd.hi; hi != 0 && m.visited[hi] != gen {
+		if hi := nd.hi; !hi.IsConst() && m.visited[hi] != gen {
 			m.visited[hi] = gen
 			stack = append(stack, hi)
 		}
@@ -582,8 +485,7 @@ func (m *Manager) Support(n Node) []Var {
 }
 
 // String renders a small diagram as nested ITE expressions, for
-// debugging and tests. Complement bits are resolved during the walk,
-// so the rendering of a function is independent of how it is shared.
+// debugging and tests.
 func (m *Manager) String(n Node) string {
 	var b strings.Builder
 	var rec func(n Node)
@@ -594,12 +496,11 @@ func (m *Manager) String(n Node) string {
 		case True:
 			b.WriteString("1")
 		default:
-			c := n & 1
-			nd := &m.nodes[n>>1]
+			nd := &m.nodes[n]
 			fmt.Fprintf(&b, "ite(%s,", m.names[nd.v])
-			rec(nd.hi ^ c)
+			rec(nd.hi)
 			b.WriteString(",")
-			rec(nd.lo ^ c)
+			rec(nd.lo)
 			b.WriteString(")")
 		}
 	}
@@ -608,28 +509,17 @@ func (m *Manager) String(n Node) string {
 }
 
 // CheckInvariants verifies structural invariants of the manager:
-// complement-edge canonical form (the single terminal lives at arena
-// index 0 and every stored hi arc is regular), reducedness (no node
-// with lo==hi), ordering (children strictly below parents),
-// unique-table consistency (every live node reachable along its probe
-// chain, every table entry a live, correctly labelled regular handle,
-// no duplicates, load factor within the growth bound), and order
+// reducedness (no node with lo==hi), ordering (children strictly below
+// parents), unique-table consistency (every live node reachable along
+// its probe chain, every table entry live and correctly labelled, no
+// duplicates, load factor within the growth bound), and order
 // permutation consistency. It is used by tests and returns a
 // descriptive error on the first violation found.
 func (m *Manager) CheckInvariants() error {
-	if len(m.nodes) == 0 || m.nodes[0].v >= 0 {
-		return fmt.Errorf("arena slot 0 is not the terminal")
-	}
-	for i := 1; i < len(m.nodes); i++ {
+	for i := 2; i < len(m.nodes); i++ {
 		nd := &m.nodes[i]
 		if nd.dead {
 			continue
-		}
-		if nd.v < 0 {
-			return fmt.Errorf("node %d: live non-terminal slot labelled as terminal", i)
-		}
-		if nd.hi&1 != 0 {
-			return fmt.Errorf("node %d: complemented hi arc %d (canonical form keeps then arcs regular)", i, nd.hi)
 		}
 		if nd.lo == nd.hi {
 			return fmt.Errorf("node %d: lo == hi (%d)", i, nd.lo)
@@ -639,7 +529,7 @@ func (m *Manager) CheckInvariants() error {
 		}
 		// Probe-chain reachability: the node must be found by lookup
 		// from its hash slot.
-		if got := m.unique[nd.v].lookup(m.nodes, nd.lo, nd.hi); got != Node(i)<<1 {
+		if got := m.unique[nd.v].lookup(m.nodes, nd.lo, nd.hi); got != Node(i) {
 			return fmt.Errorf("node %d: unique table lookup missing or wrong (%d)", i, got)
 		}
 	}
@@ -650,19 +540,16 @@ func (m *Manager) CheckInvariants() error {
 			if s == emptySlot || s == tombSlot {
 				continue
 			}
-			if s&1 != 0 {
-				return fmt.Errorf("unique[%d] holds complemented handle %d", v, s)
-			}
 			live++
-			nd := &m.nodes[s>>1]
+			nd := &m.nodes[s]
 			if nd.dead {
-				return fmt.Errorf("unique[%d] holds dead node %d", v, s>>1)
+				return fmt.Errorf("unique[%d] holds dead node %d", v, s)
 			}
 			if nd.v != Var(v) {
-				return fmt.Errorf("unique[%d] holds node %d labelled %d", v, s>>1, nd.v)
+				return fmt.Errorf("unique[%d] holds node %d labelled %d", v, s, nd.v)
 			}
 			if got := t.lookup(m.nodes, nd.lo, nd.hi); got != s {
-				return fmt.Errorf("unique[%d]: node %d shadowed or unreachable (lookup found %d)", v, s>>1, got)
+				return fmt.Errorf("unique[%d]: node %d shadowed or unreachable (lookup found %d)", v, s, got)
 			}
 		}
 		if live != int(t.count) {
@@ -683,42 +570,27 @@ func (m *Manager) CheckInvariants() error {
 }
 
 // Dot renders the diagrams rooted at the given nodes in Graphviz
-// format for inspection and debugging. Physical nodes appear once;
-// the single terminal is the "0" box. Else arcs are dashed, then arcs
-// solid, and a complemented arc — including a complemented root
-// handle — carries the customary dot-shaped tail (arrowtail=odot) of
-// negated-edge renderings. Then arcs never carry one: the canonical
-// form keeps them regular.
+// format, one rank per variable level, for inspection and debugging.
 func (m *Manager) Dot(roots ...Node) string {
 	var b strings.Builder
 	b.WriteString("digraph bdd {\n  rankdir=TB;\n")
-	b.WriteString("  n0 [label=\"0\", shape=box];\n")
-	seen := map[Node]bool{0: true}
+	b.WriteString("  n0 [label=\"0\", shape=box];\n  n1 [label=\"1\", shape=box];\n")
+	seen := map[Node]bool{False: true, True: true}
 	var walk func(n Node)
 	walk = func(n Node) {
-		n &^= 1
 		if seen[n] {
 			return
 		}
 		seen[n] = true
-		nd := &m.nodes[n>>1]
-		fmt.Fprintf(&b, "  n%d [label=%q];\n", n>>1, m.names[nd.v])
-		if nd.lo&1 != 0 {
-			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, dir=both, arrowtail=odot];\n", n>>1, nd.lo>>1)
-		} else {
-			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed];\n", n>>1, nd.lo>>1)
-		}
-		fmt.Fprintf(&b, "  n%d -> n%d;\n", n>>1, nd.hi>>1)
+		nd := &m.nodes[n]
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n, m.names[nd.v])
+		fmt.Fprintf(&b, "  n%d -> n%d [style=dashed];\n", n, nd.lo)
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", n, nd.hi)
 		walk(nd.lo)
 		walk(nd.hi)
 	}
 	for i, r := range roots {
-		fmt.Fprintf(&b, "  root%d [label=\"f%d\", shape=plaintext];\n", i, i)
-		if r&1 != 0 {
-			fmt.Fprintf(&b, "  root%d -> n%d [dir=both, arrowtail=odot];\n", i, r>>1)
-		} else {
-			fmt.Fprintf(&b, "  root%d -> n%d;\n", i, r>>1)
-		}
+		fmt.Fprintf(&b, "  root%d [label=\"f%d\", shape=plaintext];\n  root%d -> n%d;\n", i, i, i, r)
 		walk(r)
 	}
 	b.WriteString("}\n")

@@ -1,4 +1,4 @@
-package bdd
+package refbdd
 
 import "math/bits"
 
@@ -10,15 +10,10 @@ import "math/bits"
 // table. Hits and Misses therefore count a lossy cache: a miss may
 // recompute a result the cache once held.
 //
-// One cache serves every cached operation, keyed by an op code plus up
-// to three operands. Complement edges concentrate the traffic: NOT is
-// a handle bit flip and never reaches the cache, OR dualises into the
-// AND recursion through De Morgan, XOR strips the complement bits off
-// both operands (it commutes with complement), ITE normalises to the
-// Brace-Rudell-Bryant standard triple before lookup, and the
-// commuting applies sort their operands — so every member of an
-// equivalence class of calls shares one entry. Quantification keys on
-// the positive-literal cube of the quantified variables and
+// One cache serves every cached operation (ITE, the specialized
+// AND/OR/XOR/NOT applies, existential quantification and cofactoring),
+// keyed by an op code plus up to three operands. Quantification keys
+// on the positive-literal cube of the quantified variables and
 // cofactoring on a packed variable/phase literal, so their sub-results
 // persist across calls instead of living in per-call scratch maps.
 
@@ -27,7 +22,9 @@ const (
 	opNone int32 = iota
 	opIte
 	opAnd
+	opOr
 	opXor
+	opNot
 	opExists
 	opCofactor
 	opIntersect

@@ -1,0 +1,23 @@
+package refbdd
+
+// This package is a verbatim snapshot of internal/bdd as it stood
+// before the complement-edge rewrite (one arena node per classical
+// ROBDD node, two physical terminals, materialised NOT). It exists
+// only as the reference side of the differential tests gating the
+// rewrite: the live kernel must agree with this one on every
+// function's truth table, on the classical node count Size reports,
+// and on every final sift order. Do not fix or improve it — its value
+// is that it does not change.
+//
+// The snapshot drops the build-tagged owner/debug machinery; the
+// constants and the goid stub below replace owner_debug.go /
+// owner_off.go so the package compiles identically under both builds.
+
+// ownerChecks is permanently off in the reference kernel.
+const ownerChecks = false
+
+// siftCostChecks is permanently off in the reference kernel.
+const siftCostChecks = false
+
+// goid is never called when ownerChecks is false.
+func goid() int64 { return 0 }

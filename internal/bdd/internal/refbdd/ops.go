@@ -1,10 +1,11 @@
-package bdd
+package refbdd
 
 // Ite computes if-then-else: f ? g : h. It is the universal binary
 // operation from which all two-argument Boolean connectives derive;
-// the common connectives (And/Or/Xor) additionally have specialized
-// recursions with their own terminal rules and cache op codes, and
-// Not is a constant-time complement-bit flip on the handle.
+// the common connectives (And/Or/Xor/Not) additionally have
+// specialized recursions with their own terminal rules and cache op
+// codes, so they never pay a Not materialisation or a three-operand
+// walk.
 func (m *Manager) Ite(f, g, h Node) Node {
 	m.checkOwner()
 	m.maybeGrowCache()
@@ -12,60 +13,26 @@ func (m *Manager) Ite(f, g, h Node) Node {
 }
 
 func (m *Manager) iteRec(f, g, h Node) Node {
-	// Terminal rules. Complemented handles make the classical
-	// identities directly detectable: ite(f, f, h) = ite(f, 1, h),
-	// ite(f, g, ¬f) = ite(f, g, 1), f ∧ ¬f = 0, and so on.
-	if f == True {
-		return g
-	}
-	if f == False {
-		return h
-	}
-	if f == g {
-		g = True
-	} else if f == g^1 {
-		g = False
-	}
-	if f == h {
-		h = False
-	} else if f == h^1 {
-		h = True
-	}
-	if g == h {
-		return g
-	}
-	// Route two-operand shapes to the cheaper specialized recursions
-	// (which also concentrate cache traffic on fewer, shorter keys).
+	// Terminal cases, plus reductions to the cheaper specialized
+	// operators (which also concentrate cache traffic on one key).
 	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
 	case g == True && h == False:
 		return f
 	case g == False && h == True:
-		return f ^ 1
+		return m.notRec(f)
 	case g == True:
 		return m.orRec(f, h)
-	case g == False:
-		return m.andRec(f^1, h)
 	case h == False:
 		return m.andRec(f, g)
-	case h == True:
-		return m.orRec(f^1, g)
-	case g == h^1:
-		return m.xorRec(f, h)
-	}
-	// Standard triple (Brace-Rudell-Bryant): make f regular by
-	// exchanging the branches — ite(¬f,g,h) = ite(f,h,g) — then make
-	// the then-branch regular by complementing the whole call —
-	// ite(f,¬g,¬h) = ¬ite(f,g,h) — so all four complement variants of
-	// a triple share one cache entry.
-	var cmpl Node
-	if f&1 != 0 {
-		f, g, h = f^1, h, g
-	}
-	if g&1 != 0 {
-		g, h, cmpl = g^1, h^1, 1
 	}
 	if r, ok := m.cacheLookup(opIte, f, g, h); ok {
-		return r ^ cmpl
+		return r
 	}
 	// Split on the top variable among f, g, h.
 	lvl := m.levelOf(f)
@@ -83,19 +50,19 @@ func (m *Manager) iteRec(f, g, h Node) Node {
 	hi := m.iteRec(f1, g1, h1)
 	r := m.mk(v, lo, hi)
 	m.cacheStore(opIte, f, g, h, r)
-	return r ^ cmpl
+	return r
 }
 
 // cofactorsAt returns the two cofactors of n with respect to v when v
 // is at or above n's top level; if n does not test v the cofactors are
-// n itself. The handle's complement bit distributes into the
-// cofactors. (The terminal's label is -1 and never equals a real
-// variable, so constants need no special case.)
+// n itself.
 func (m *Manager) cofactorsAt(n Node, v Var) (lo, hi Node) {
-	nd := &m.nodes[n>>1]
+	if n.IsConst() {
+		return n, n
+	}
+	nd := &m.nodes[n]
 	if nd.v == v {
-		c := n & 1
-		return nd.lo ^ c, nd.hi ^ c
+		return nd.lo, nd.hi
 	}
 	return n, n
 }
@@ -113,15 +80,29 @@ func (m *Manager) topSplit(f, g Node) (v Var, f0, f1, g0, g1 Node) {
 	return
 }
 
+// notRec is the specialized complement recursion (cache op opNot).
+func (m *Manager) notRec(f Node) Node {
+	if f == False {
+		return True
+	}
+	if f == True {
+		return False
+	}
+	if r, ok := m.cacheLookup(opNot, f, 0, 0); ok {
+		return r
+	}
+	nd := m.nodes[f]
+	r := m.mk(nd.v, m.notRec(nd.lo), m.notRec(nd.hi))
+	m.cacheStore(opNot, f, 0, 0, r)
+	return r
+}
+
 // andRec is the specialized conjunction recursion. Operands are
-// normalised by handle order (AND commutes), doubling cache coverage;
-// complemented handles add the f ∧ ¬f = 0 short-circuit.
+// normalised by handle order (AND commutes), doubling cache coverage.
 func (m *Manager) andRec(f, g Node) Node {
 	switch {
 	case f == g:
 		return f
-	case f == g^1: // f ∧ ¬f
-		return False
 	case f == False || g == False:
 		return False
 	case f == True:
@@ -141,55 +122,63 @@ func (m *Manager) andRec(f, g Node) Node {
 	return r
 }
 
-// orRec dualises through De Morgan: with free complements, OR shares
-// the AND recursion — and, more importantly, its cache entries — so
-// the former opOr traffic lands on opAnd keys.
+// orRec is the specialized disjunction recursion.
 func (m *Manager) orRec(f, g Node) Node {
-	return m.andRec(f^1, g^1) ^ 1
+	switch {
+	case f == g:
+		return f
+	case f == True || g == True:
+		return True
+	case f == False:
+		return g
+	case g == False:
+		return f
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.cacheLookup(opOr, f, g, 0); ok {
+		return r
+	}
+	v, f0, f1, g0, g1 := m.topSplit(f, g)
+	r := m.mk(v, m.orRec(f0, g0), m.orRec(f1, g1))
+	m.cacheStore(opOr, f, g, 0, r)
+	return r
 }
 
-// xorRec is the specialized exclusive-or recursion. XOR commutes with
-// complement on either operand (¬f ⊕ g = ¬(f ⊕ g)), so both operands
-// are stripped to regular handles before the cache is consulted and
-// the parity of the stripped bits complements the result: all four
-// polarity variants of a pair share one cache entry and one result
-// diagram.
+// xorRec is the specialized exclusive-or recursion: unlike the ITE
+// formulation Xor(f,g) = Ite(f, Not(g), g), it never materialises a
+// complement of g.
 func (m *Manager) xorRec(f, g Node) Node {
 	switch {
 	case f == g:
 		return False
-	case f == g^1:
-		return True
 	case f == False:
 		return g
-	case f == True:
-		return g ^ 1
 	case g == False:
 		return f
+	case f == True:
+		return m.notRec(g)
 	case g == True:
-		return f ^ 1
+		return m.notRec(f)
 	}
-	cmpl := (f ^ g) & 1
-	f &^= 1
-	g &^= 1
 	if f > g {
 		f, g = g, f
 	}
 	if r, ok := m.cacheLookup(opXor, f, g, 0); ok {
-		return r ^ cmpl
+		return r
 	}
 	v, f0, f1, g0, g1 := m.topSplit(f, g)
 	r := m.mk(v, m.xorRec(f0, g0), m.xorRec(f1, g1))
 	m.cacheStore(opXor, f, g, 0, r)
-	return r ^ cmpl
+	return r
 }
 
-// Not returns the complement of f. With complement edges this is a
-// constant-time flip of the handle's complement bit: no node is
-// created, no recursion runs, no cache is consulted.
+// Not returns the complement of f.
 func (m *Manager) Not(f Node) Node {
 	m.checkOwner()
-	return f ^ 1
+	m.maybeGrowCache()
+	return m.notRec(f)
 }
 
 // And returns the conjunction of its arguments (True for none).
@@ -238,8 +227,6 @@ func (m *Manager) intersectsRec(f, g Node) bool {
 	switch {
 	case f == False || g == False:
 		return false
-	case f == g^1: // f ∧ ¬f
-		return false
 	case f == g || f == True || g == True:
 		// The other operand is known non-False here.
 		return true
@@ -267,12 +254,11 @@ func (m *Manager) Xor(f, g Node) Node {
 	return m.xorRec(f, g)
 }
 
-// Xnor returns the equivalence (biconditional) of f and g — the
-// complement bit makes it exactly one flip away from Xor.
+// Xnor returns the equivalence (biconditional) of f and g.
 func (m *Manager) Xnor(f, g Node) Node {
 	m.checkOwner()
 	m.maybeGrowCache()
-	return m.xorRec(f, g) ^ 1
+	return m.notRec(m.xorRec(f, g))
 }
 
 // Implies returns f -> g.
@@ -280,10 +266,9 @@ func (m *Manager) Implies(f, g Node) Node { return m.Ite(f, g, True) }
 
 // Cofactor returns the restriction of f with v replaced by the given
 // constant value (Shannon cofactor). Sub-results are memoised in the
-// shared operation cache keyed on a packed variable/phase literal and
-// the regular handle — cofactoring commutes with complement, so both
-// polarities of f share one entry — and persist across calls instead
-// of living in per-call scratch maps.
+// shared operation cache keyed on a packed variable/phase literal, so
+// they persist across calls instead of living in per-call scratch
+// maps.
 func (m *Manager) Cofactor(f Node, v Var, val bool) Node {
 	m.checkOwner()
 	m.maybeGrowCache()
@@ -298,21 +283,19 @@ func (m *Manager) cofRec(f Node, v Var, lvl int, lit Node) Node {
 	if f.IsConst() || m.levelOf(f) > lvl {
 		return f
 	}
-	c := f & 1
-	nd := &m.nodes[f>>1]
+	nd := m.nodes[f]
 	if nd.v == v {
 		if lit&1 != 0 {
-			return nd.hi ^ c
+			return nd.hi
 		}
-		return nd.lo ^ c
+		return nd.lo
 	}
-	fr := f ^ c
-	if r, ok := m.cacheLookup(opCofactor, fr, lit, 0); ok {
-		return r ^ c
+	if r, ok := m.cacheLookup(opCofactor, f, lit, 0); ok {
+		return r
 	}
 	r := m.mk(nd.v, m.cofRec(nd.lo, v, lvl, lit), m.cofRec(nd.hi, v, lvl, lit))
-	m.cacheStore(opCofactor, fr, lit, 0, r)
-	return r ^ c
+	m.cacheStore(opCofactor, f, lit, 0, r)
+	return r
 }
 
 // Restrict applies a partial assignment given as parallel slices of
@@ -344,8 +327,6 @@ func (m *Manager) varsCube(vars []Var) Node {
 // f: the result is true wherever some assignment to vars makes f true.
 // The quantified set is represented as a positive-literal cube so that
 // sub-results cache in the shared operation cache across calls.
-// Quantification does not commute with complement (∃x.¬f ≠ ¬∃x.f), so
-// the cache keys on the full handle including its complement bit.
 func (m *Manager) Exists(f Node, vars ...Var) Node {
 	m.checkOwner()
 	if len(vars) == 0 {
@@ -355,12 +336,6 @@ func (m *Manager) Exists(f Node, vars ...Var) Node {
 	return m.existsRec(f, m.varsCube(vars))
 }
 
-// cubeRest returns the remainder of a positive-literal cube below its
-// top variable, resolving the handle's complement bit.
-func (m *Manager) cubeRest(cube Node) Node {
-	return m.nodes[cube>>1].hi ^ (cube & 1)
-}
-
 func (m *Manager) existsRec(f, cube Node) Node {
 	if f.IsConst() || cube == True {
 		return f
@@ -368,8 +343,8 @@ func (m *Manager) existsRec(f, cube Node) Node {
 	// Skip cube variables above f's top level: f cannot depend on
 	// them, so quantifying them is the identity.
 	flvl := m.levelOf(f)
-	for cube != True && m.perm[m.nodes[cube>>1].v] < flvl {
-		cube = m.cubeRest(cube)
+	for cube != True && m.perm[m.nodes[cube].v] < flvl {
+		cube = m.nodes[cube].hi
 	}
 	if cube == True {
 		return f
@@ -377,27 +352,24 @@ func (m *Manager) existsRec(f, cube Node) Node {
 	if r, ok := m.cacheLookup(opExists, f, cube, 0); ok {
 		return r
 	}
-	c := f & 1
-	nd := &m.nodes[f>>1]
+	nd := m.nodes[f]
 	var r Node
-	if nd.v == m.nodes[cube>>1].v {
-		rest := m.cubeRest(cube)
-		lo := m.existsRec(nd.lo^c, rest)
+	if nd.v == m.nodes[cube].v {
+		rest := m.nodes[cube].hi
+		lo := m.existsRec(nd.lo, rest)
 		if lo == True { // OR short-circuit
 			r = True
 		} else {
-			r = m.orRec(lo, m.existsRec(nd.hi^c, rest))
+			r = m.orRec(lo, m.existsRec(nd.hi, rest))
 		}
 	} else {
-		r = m.mk(nd.v, m.existsRec(nd.lo^c, cube), m.existsRec(nd.hi^c, cube))
+		r = m.mk(nd.v, m.existsRec(nd.lo, cube), m.existsRec(nd.hi, cube))
 	}
 	m.cacheStore(opExists, f, cube, 0, r)
 	return r
 }
 
-// Forall universally quantifies the given variables out of f. Both
-// complements are free bit flips; only the quantification itself
-// walks the diagram.
+// Forall universally quantifies the given variables out of f.
 func (m *Manager) Forall(f Node, vars ...Var) Node {
 	return m.Not(m.Exists(m.Not(f), vars...))
 }
@@ -409,11 +381,9 @@ func (m *Manager) Compose(f Node, v Var, g Node) Node {
 	return m.Ite(g, f1, f0)
 }
 
-// DependsOn reports whether f essentially depends on v. Complements
-// do not change support, so the walk visits physical nodes.
+// DependsOn reports whether f essentially depends on v.
 func (m *Manager) DependsOn(f Node, v Var) bool {
-	f &^= 1
-	if f == 0 {
+	if f.IsConst() {
 		return false
 	}
 	lvl := m.perm[v]
@@ -424,16 +394,16 @@ func (m *Manager) DependsOn(f Node, v Var) bool {
 	for len(stack) > 0 && !found {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		nd := &m.nodes[n>>1]
+		nd := &m.nodes[n]
 		if nd.v == v {
 			found = true
 			break
 		}
-		if lo := nd.lo &^ 1; lo != 0 && m.levelOf(lo) <= lvl && m.visited[lo] != gen {
+		if lo := nd.lo; !lo.IsConst() && m.levelOf(lo) <= lvl && m.visited[lo] != gen {
 			m.visited[lo] = gen
 			stack = append(stack, lo)
 		}
-		if hi := nd.hi; hi != 0 && m.levelOf(hi) <= lvl && m.visited[hi] != gen {
+		if hi := nd.hi; !hi.IsConst() && m.levelOf(hi) <= lvl && m.visited[hi] != gen {
 			m.visited[hi] = gen
 			stack = append(stack, hi)
 		}
@@ -458,9 +428,8 @@ func (m *Manager) SatCount(f Node, nvars int) float64 {
 		if r, ok := cache[n]; ok {
 			return r
 		}
-		c := n & 1
-		nd := &m.nodes[n>>1]
-		r := (rec(nd.lo^c) + rec(nd.hi^c)) / 2
+		nd := &m.nodes[n]
+		r := (rec(nd.lo) + rec(nd.hi)) / 2
 		cache[n] = r
 		return r
 	}
@@ -480,14 +449,13 @@ func (m *Manager) SatisfyOne(f Node) map[Var]bool {
 	}
 	out := make(map[Var]bool)
 	for !f.IsConst() {
-		c := f & 1
-		nd := &m.nodes[f>>1]
-		if lo := nd.lo ^ c; lo != False {
+		nd := &m.nodes[f]
+		if nd.lo != False {
 			out[nd.v] = false
-			f = lo
+			f = nd.lo
 		} else {
 			out[nd.v] = true
-			f = nd.hi ^ c
+			f = nd.hi
 		}
 	}
 	return out
@@ -507,15 +475,14 @@ func (m *Manager) ForEachCube(f Node, fn func(vars []Var, vals []bool) bool) {
 		if n == True {
 			return fn(vars, vals)
 		}
-		c := n & 1
-		nd := &m.nodes[n>>1]
+		nd := &m.nodes[n]
 		vars = append(vars, nd.v)
 		vals = append(vals, false)
-		if !rec(nd.lo ^ c) {
+		if !rec(nd.lo) {
 			return false
 		}
 		vals[len(vals)-1] = true
-		if !rec(nd.hi ^ c) {
+		if !rec(nd.hi) {
 			return false
 		}
 		vars = vars[:len(vars)-1]

@@ -1,4 +1,4 @@
-package bdd
+package refbdd
 
 import (
 	"fmt"
@@ -37,44 +37,36 @@ func (m *Manager) swapLevels(x int) int {
 
 	// Nodes labelled u that reference a v-labelled child must be
 	// re-expressed with v on top. Collect them first (into a reused
-	// scratch buffer); the unique table is mutated below. Table slots
-	// hold regular handles; a child's complement bit does not change
-	// which physical node it labels.
+	// scratch buffer); the unique table is mutated below.
 	tu := &m.unique[u]
 	affected := m.swapScratch[:0]
 	for _, n := range tu.slots {
 		if n == emptySlot || n == tombSlot {
 			continue
 		}
-		nd := &m.nodes[n>>1]
-		if m.nodes[nd.lo>>1].v == v || m.nodes[nd.hi>>1].v == v {
+		nd := &m.nodes[n]
+		if m.nodes[nd.lo].v == v || m.nodes[nd.hi].v == v {
 			affected = append(affected, n)
 		}
 	}
 	for _, n := range affected {
-		nd := &m.nodes[n>>1]
+		nd := &m.nodes[n]
 		tu.delete(m.nodes, nd.lo, nd.hi)
 	}
 	for _, n := range affected {
-		f0, f1 := m.nodes[n>>1].lo, m.nodes[n>>1].hi
+		f0, f1 := m.nodes[n].lo, m.nodes[n].hi
 		var f00, f01, f10, f11 Node
-		// The stored lo arc may be complemented: its cofactors inherit
-		// the bit. The stored hi arc is regular by canonical form.
-		if c0 := f0 & 1; m.nodes[f0>>1].v == v {
-			f00, f01 = m.nodes[f0>>1].lo^c0, m.nodes[f0>>1].hi^c0
+		if m.nodes[f0].v == v {
+			f00, f01 = m.nodes[f0].lo, m.nodes[f0].hi
 		} else {
 			f00, f01 = f0, f0
 		}
-		if m.nodes[f1>>1].v == v {
-			f10, f11 = m.nodes[f1>>1].lo, m.nodes[f1>>1].hi
+		if m.nodes[f1].v == v {
+			f10, f11 = m.nodes[f1].lo, m.nodes[f1].hi
 		} else {
 			f10, f11 = f1, f1
 		}
-		// mk may grow the arena, so take no pointers across it. n1 is
-		// always regular: f11 is either a stored hi arc or f1 itself,
-		// both regular, so mk(u, f01, f11) either collapses to the
-		// regular f11 or builds a node whose hi child is regular —
-		// exactly what the relabelled n needs for its own hi arc.
+		// mk may grow the arena, so take no pointers across it.
 		n0 := m.mk(u, f00, f10)
 		n1 := m.mk(u, f01, f11)
 		// Relabel n in place as a v-node. A collision with an
@@ -82,27 +74,21 @@ func (m *Manager) swapLevels(x int) int {
 		if old := m.unique[v].lookup(m.nodes, n0, n1); old != 0 && old != n {
 			panic(fmt.Sprintf("bdd: swap collision at level %d (node %d vs %d)", x, old, n))
 		}
-		m.nodes[n>>1].v = v
-		m.nodes[n>>1].lo = n0
-		m.nodes[n>>1].hi = n1
+		m.nodes[n].v = v
+		m.nodes[n].lo = n0
+		m.nodes[n].hi = n1
 		m.unique[v].insert(m.nodes, n0, n1, n)
-		// Cost bookkeeping, per polarity: the cost counters track
-		// classical (node, polarity) pairs, so each cost-reachable
-		// polarity of n moves its own count from u to v and re-points
-		// its edges from (f0, f1) to (n0, n1), complement-adjusted.
-		// Add before delete so shared structure never transits through
-		// a spurious death cascade.
-		if st.on {
-			for p := Node(0); p <= 1; p++ {
-				if h := n | p; int(h) < len(st.ref) && st.ref[h] > 0 {
-					st.keys[u]--
-					st.keys[v]++
-					m.costRefAdd(n0 ^ p)
-					m.costRefAdd(n1 ^ p)
-					m.costRefDel(f0 ^ p)
-					m.costRefDel(f1 ^ p)
-				}
-			}
+		// Cost bookkeeping: n keeps its handle and its parents, so
+		// its own count just moves from u to v; its edges now lead to
+		// (n0, n1) instead of (f0, f1). Add before delete so shared
+		// structure never transits through a spurious death cascade.
+		if st.on && int(n) < len(st.ref) && st.ref[n] > 0 {
+			st.keys[u]--
+			st.keys[v]++
+			m.costRefAdd(n0)
+			m.costRefAdd(n1)
+			m.costRefDel(f0)
+			m.costRefDel(f1)
 		}
 	}
 	m.swapScratch = affected[:0]

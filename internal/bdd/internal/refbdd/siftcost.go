@@ -1,4 +1,4 @@
-package bdd
+package refbdd
 
 import "fmt"
 
@@ -13,15 +13,9 @@ import "fmt"
 // The reference counter is swap-local, not a kernel-wide refcount:
 // it is rebuilt from the cost roots at each pass start (and after the
 // automatic collections between blocks) and updated only by
-// swapLevels. ref is indexed by full handle — complement bit included
-// — because the cost is the classical node count: with complement
-// edges one physical node can serve two distinct subfunctions (its two
-// polarities), and each polarity is counted and tracked independently,
-// keeping sizes and final orders identical to the pre-complement
-// kernel. ref[h] counts the classical edges into the subfunction h
-// from cost-reachable parents plus the times h occurs in the root
-// list, so ref[h] > 0 exactly when that subfunction is reachable from
-// the cost roots. This matters
+// swapLevels. ref[n] counts the edges into n from cost-reachable
+// parents plus the times n occurs in the root list, so ref[n] > 0
+// exactly when n is reachable from the cost roots. This matters
 // because adjacent swaps orphan re-expressed children: the orphans
 // stay in the unique tables until the next collection, and a cost
 // that merely summed table populations would count them and diverge
@@ -79,11 +73,10 @@ func (m *Manager) resolveCostRoots(opts SiftOptions) []Node {
 // counters cannot be trusted across it).
 func (m *Manager) rebuildSiftCost() {
 	st := &m.sift
-	need := 2 * len(m.nodes) // handle-indexed: both polarities per slot
-	if cap(st.ref) < need {
-		st.ref = make([]int32, need)
+	if cap(st.ref) < len(m.nodes) {
+		st.ref = make([]int32, len(m.nodes))
 	} else {
-		st.ref = st.ref[:need]
+		st.ref = st.ref[:len(m.nodes)]
 		for i := range st.ref {
 			st.ref[i] = 0
 		}
@@ -124,15 +117,14 @@ func (m *Manager) costRefAdd(n Node) {
 		}
 		st.ref[w]++
 		if st.ref[w] == 1 {
-			c := w & 1
-			nd := &m.nodes[w>>1]
+			nd := &m.nodes[w]
 			st.keys[nd.v]++
 			st.size++
-			if lo := nd.lo ^ c; !lo.IsConst() {
-				stack = append(stack, lo)
+			if !nd.lo.IsConst() {
+				stack = append(stack, nd.lo)
 			}
-			if hi := nd.hi ^ c; !hi.IsConst() {
-				stack = append(stack, hi)
+			if !nd.hi.IsConst() {
+				stack = append(stack, nd.hi)
 			}
 		}
 	}
@@ -155,15 +147,14 @@ func (m *Manager) costRefDel(n Node) {
 		stack = stack[:len(stack)-1]
 		st.ref[w]--
 		if st.ref[w] == 0 {
-			c := w & 1
-			nd := &m.nodes[w>>1]
+			nd := &m.nodes[w]
 			st.keys[nd.v]--
 			st.size--
-			if lo := nd.lo ^ c; !lo.IsConst() {
-				stack = append(stack, lo)
+			if !nd.lo.IsConst() {
+				stack = append(stack, nd.lo)
 			}
-			if hi := nd.hi ^ c; !hi.IsConst() {
-				stack = append(stack, hi)
+			if !nd.hi.IsConst() {
+				stack = append(stack, nd.hi)
 			}
 		}
 	}
@@ -197,10 +188,7 @@ func (m *Manager) buildInteract(roots []Node) {
 	inSup := make([]bool, nv)
 	sup := make([]Var, 0, nv)
 	for _, r := range roots {
-		// Support is polarity-invariant, so the walk visits physical
-		// nodes (regular handles).
-		r &^= 1
-		if r == 0 {
+		if r.IsConst() {
 			continue
 		}
 		sup = sup[:0]
@@ -210,16 +198,16 @@ func (m *Manager) buildInteract(roots []Node) {
 		for len(stack) > 0 {
 			n := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			nd := &m.nodes[n>>1]
+			nd := &m.nodes[n]
 			if !inSup[nd.v] {
 				inSup[nd.v] = true
 				sup = append(sup, nd.v)
 			}
-			if lo := nd.lo &^ 1; lo != 0 && m.visited[lo] != gen {
+			if lo := nd.lo; !lo.IsConst() && m.visited[lo] != gen {
 				m.visited[lo] = gen
 				stack = append(stack, lo)
 			}
-			if hi := nd.hi; hi != 0 && m.visited[hi] != gen {
+			if hi := nd.hi; !hi.IsConst() && m.visited[hi] != gen {
 				m.visited[hi] = gen
 				stack = append(stack, hi)
 			}
@@ -270,8 +258,6 @@ func (m *Manager) verifySiftCost(where string) {
 	if !st.on {
 		return
 	}
-	// The audit counts classical (node, polarity) pairs — the walk is
-	// keyed by full handle, matching the incremental counters.
 	keys := make([]int32, len(m.perm))
 	size := 0
 	seen := make(map[Node]bool)
@@ -281,12 +267,11 @@ func (m *Manager) verifySiftCost(where string) {
 			return
 		}
 		seen[n] = true
-		c := n & 1
-		nd := &m.nodes[n>>1]
+		nd := &m.nodes[n]
 		keys[nd.v]++
 		size++
-		walk(nd.lo ^ c)
-		walk(nd.hi ^ c)
+		walk(nd.lo)
+		walk(nd.hi)
 	}
 	for _, r := range st.roots {
 		walk(r)
@@ -300,19 +285,17 @@ func (m *Manager) verifySiftCost(where string) {
 				where, m.names[v], st.keys[v], keys[v]))
 		}
 	}
-	// Reference-count audit: ref[h] must equal the number of classical
-	// edges into subfunction h from counted subfunctions plus h's
-	// occurrences in the root list, and must be zero outside the
-	// region.
+	// Reference-count audit: ref[n] must equal the number of edges
+	// into n from counted nodes plus n's occurrences in the root
+	// list, and must be zero outside the region.
 	want := make(map[Node]int32)
 	for n := range seen {
-		c := n & 1
-		nd := &m.nodes[n>>1]
-		if lo := nd.lo ^ c; !lo.IsConst() {
-			want[lo]++
+		nd := &m.nodes[n]
+		if !nd.lo.IsConst() {
+			want[nd.lo]++
 		}
-		if hi := nd.hi ^ c; !hi.IsConst() {
-			want[hi]++
+		if !nd.hi.IsConst() {
+			want[nd.hi]++
 		}
 	}
 	for _, r := range st.roots {

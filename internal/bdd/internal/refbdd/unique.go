@@ -1,26 +1,25 @@
-package bdd
+package refbdd
 
 import "math/bits"
 
 // uniqueTable is the per-variable unique table: an open-addressing
-// (linear probing) hash table mapping a canonical (lo,hi) child pair —
-// hi regular, lo possibly complemented — to the one physical node
-// labelled by the table's variable. Slots hold regular node handles
-// directly; the key is recovered from the node arena, so the table
-// costs one int32 per slot. Tables are power-of-two sized, grow by
-// amortized doubling when the load factor (live entries plus
+// (linear probing) hash table mapping a (lo,hi) child pair to the one
+// canonical node labelled by the table's variable. Slots hold node
+// handles directly; the key is recovered from the node arena, so the
+// table costs one int32 per slot. Tables are power-of-two sized, grow
+// by amortized doubling when the load factor (live entries plus
 // tombstones) would exceed 3/4, and are rebuilt tombstone-free and
 // right-sized by GC.
 type uniqueTable struct {
-	slots []Node // regular node handles; emptySlot / tombSlot are sentinels
+	slots []Node // node handles; emptySlot / tombSlot are sentinels
 	shift uint8  // 64 - log2(len(slots)); index = hash >> shift
 	count int32  // live entries
 	tombs int32  // tombstone slots left by delete
 }
 
 const (
-	// emptySlot marks a never-used slot. Regular handle 0 is the
-	// terminal and never enters a unique table, so 0 is free.
+	// emptySlot marks a never-used slot. The constant False (handle 0)
+	// is a terminal and never enters a unique table, so 0 is free.
 	emptySlot Node = 0
 	// tombSlot marks a deleted slot: lookups probe past it, inserts
 	// may reuse it.
@@ -28,14 +27,12 @@ const (
 )
 
 // hashPair mixes a child pair into a 64-bit hash whose high bits index
-// the table (Fibonacci hashing). The complement bit of lo is part of
-// the key; hi is always regular.
+// the table (Fibonacci hashing).
 func hashPair(lo, hi Node) uint64 {
 	return (uint64(uint32(lo))<<32 | uint64(uint32(hi))) * 0x9E3779B97F4A7C15
 }
 
-// lookup returns the regular handle of the node with children (lo,hi),
-// or 0 when absent.
+// lookup returns the node with children (lo,hi), or 0 when absent.
 func (t *uniqueTable) lookup(nodes []node, lo, hi Node) Node {
 	if len(t.slots) == 0 {
 		return 0
@@ -48,7 +45,7 @@ func (t *uniqueTable) lookup(nodes []node, lo, hi Node) Node {
 			return 0
 		}
 		if s != tombSlot {
-			nd := &nodes[s>>1]
+			nd := &nodes[s]
 			if nd.lo == lo && nd.hi == hi {
 				return s
 			}
@@ -57,9 +54,9 @@ func (t *uniqueTable) lookup(nodes []node, lo, hi Node) Node {
 	}
 }
 
-// insert adds the node with regular handle n and children (lo,hi),
-// which must not already be present. The table grows first when the
-// insert would push the load factor over 3/4.
+// insert adds node n with children (lo,hi), which must not already be
+// present. The table grows first when the insert would push the load
+// factor over 3/4.
 func (t *uniqueTable) insert(nodes []node, lo, hi Node, n Node) {
 	if (int(t.count)+int(t.tombs)+1)*4 > len(t.slots)*3 {
 		t.rehash(nodes, int(t.count)+1)
@@ -87,7 +84,7 @@ func (t *uniqueTable) delete(nodes []node, lo, hi Node) {
 			return
 		}
 		if s != tombSlot {
-			nd := &nodes[s>>1]
+			nd := &nodes[s]
 			if nd.lo == lo && nd.hi == hi {
 				t.slots[i] = tombSlot
 				t.count--
@@ -122,7 +119,7 @@ func (t *uniqueTable) rehash(nodes []node, want int) {
 		if s == emptySlot || s == tombSlot {
 			continue
 		}
-		nd := &nodes[s>>1]
+		nd := &nodes[s]
 		i := hashPair(nd.lo, nd.hi) >> t.shift
 		for t.slots[i] != emptySlot {
 			i = (i + 1) & mask

@@ -53,6 +53,8 @@ func referenceSift(m *Manager, opts SiftOptions) {
 func referenceSiftPass(m *Manager, opts SiftOptions) {
 	contrib := make(map[int32]int)
 	roots := referenceCostRoots(m, opts)
+	// Classical counting: keyed by full handle, one count per distinct
+	// subfunction, matching Size and the incremental sifter's cost.
 	seen := make(map[Node]bool)
 	var count func(n Node)
 	count = func(n Node) {
@@ -60,10 +62,11 @@ func referenceSiftPass(m *Manager, opts SiftOptions) {
 			return
 		}
 		seen[n] = true
-		nd := &m.nodes[n]
+		c := n & 1
+		nd := &m.nodes[n>>1]
 		contrib[m.group[nd.v]]++
-		count(nd.lo)
-		count(nd.hi)
+		count(nd.lo ^ c)
+		count(nd.hi ^ c)
 	}
 	for _, r := range roots {
 		count(r)

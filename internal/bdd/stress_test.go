@@ -122,3 +122,116 @@ func TestSiftMultiPass(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStressComplementedHandles hammers the ops specifically through
+// complemented root handles — the representation the complement-edge
+// rewrite added. Every tracked function is deliberately stored as the
+// complement of something built positively, each operation result is
+// crosschecked against an exhaustively computed truth table, and the
+// manager invariants are verified at every step, so a single
+// mis-propagated complement bit anywhere in mk, the apply recursions,
+// quantification or cofactoring trips the test immediately.
+func TestStressComplementedHandles(t *testing.T) {
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(3300 + trial)))
+		m := New()
+		const nv = 6
+		vars := newVars(m, nv)
+
+		type tracked struct {
+			n  Node
+			tt []bool
+		}
+		var funcs []tracked
+		track := func(n Node) {
+			m.Protect(n)
+			funcs = append(funcs, tracked{n: n, tt: evalAll(m, n, vars)})
+		}
+		ttOf := func(n Node) []bool { return evalAll(m, n, vars) }
+		expect := func(step int, what string, n Node, want func(i int) bool) {
+			got := ttOf(n)
+			for i := range got {
+				if got[i] != want(i) {
+					t.Fatalf("trial %d step %d: %s wrong at minterm %d", trial, step, what, i)
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d step %d after %s: %v", trial, step, what, err)
+			}
+		}
+
+		// Seed with complemented handles: negations of positively built
+		// functions, plus negated literals.
+		for i := 0; i < 3; i++ {
+			track(m.Not(randomFunc(m, vars, r)))
+		}
+		track(m.Not(m.VarNode(vars[r.Intn(nv)])))
+
+		for step := 0; step < 80; step++ {
+			a := funcs[r.Intn(len(funcs))]
+			b := funcs[r.Intn(len(funcs))]
+			switch r.Intn(8) {
+			case 0: // double complement is the identity, handle-exact
+				if nn := m.Not(m.Not(a.n)); nn != a.n {
+					t.Fatalf("trial %d step %d: Not(Not(f)) != f", trial, step)
+				}
+				expect(step, "Not", m.Not(a.n), func(i int) bool { return !a.tt[i] })
+			case 1:
+				expect(step, "And", m.And(a.n, b.n), func(i int) bool { return a.tt[i] && b.tt[i] })
+			case 2:
+				expect(step, "Or", m.Or(a.n, b.n), func(i int) bool { return a.tt[i] || b.tt[i] })
+			case 3:
+				expect(step, "Xor", m.Xor(a.n, b.n), func(i int) bool { return a.tt[i] != b.tt[i] })
+			case 4:
+				c := funcs[r.Intn(len(funcs))]
+				expect(step, "Ite", m.Ite(a.n, b.n, c.n), func(i int) bool {
+					if a.tt[i] {
+						return b.tt[i]
+					}
+					return c.tt[i]
+				})
+			case 5: // exists over a complemented handle
+				v := r.Intn(nv)
+				ex := m.Exists(a.n, vars[v])
+				expect(step, "Exists", ex, func(i int) bool {
+					return a.tt[i&^(1<<v)] || a.tt[i|1<<v]
+				})
+			case 6: // cofactor of a complemented handle
+				v := r.Intn(nv)
+				val := r.Intn(2) == 1
+				cf := m.Cofactor(a.n, vars[v], val)
+				expect(step, "Cofactor", cf, func(i int) bool {
+					if val {
+						return a.tt[i|1<<v]
+					}
+					return a.tt[i&^(1<<v)]
+				})
+			default: // keep the population complement-heavy
+				if len(funcs) < 12 {
+					track(m.Not(m.Or(a.n, m.Not(b.n))))
+				} else {
+					m.GC()
+				}
+			}
+			if step%23 == 19 {
+				m.Sift(SiftOptions{Passes: 1})
+				for i, f := range funcs {
+					got := ttOf(f.n)
+					for k := range got {
+						if got[k] != f.tt[k] {
+							t.Fatalf("trial %d step %d: sift changed function %d at minterm %d",
+								trial, step, i, k)
+						}
+					}
+				}
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d final: %v", trial, err)
+		}
+	}
+}

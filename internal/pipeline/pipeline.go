@@ -157,9 +157,26 @@ func SynthesizeModuleContext(ctx context.Context, m *cfsm.CFSM, opt Options, tr 
 		return nil, err
 	}
 
+	// bddStage emits an EvStage event carrying a snapshot of the
+	// module's BDD manager: live/peak node counts at the stage
+	// boundary plus the op-cache traffic the stage itself generated.
+	var prevHits, prevMisses int
+	bddStage := func(r *cfsm.Reactive, stage Stage, d time.Duration) {
+		ev := Event{Kind: EvStage, Module: m.Name, Stage: stage, Duration: d}
+		if r != nil {
+			mgr := r.Space.M
+			ev.BDDLive = mgr.NumNodes()
+			ev.BDDPeakNodes = mgr.PeakNodes
+			ev.BDDCacheHits = mgr.Hits - prevHits
+			ev.BDDCacheMisses = mgr.Misses - prevMisses
+			prevHits, prevMisses = mgr.Hits, mgr.Misses
+		}
+		tr.Event(ev)
+	}
+
 	t := time.Now()
 	r, err := cfsm.BuildReactive(m)
-	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageReactive, Duration: time.Since(t)})
+	bddStage(r, StageReactive, time.Since(t))
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +186,7 @@ func SynthesizeModuleContext(ctx context.Context, m *cfsm.CFSM, opt Options, tr 
 
 	t = time.Now()
 	err = sgraph.ApplyOrdering(r, opt.Ordering)
-	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageSift, Duration: time.Since(t)})
+	bddStage(r, StageSift, time.Since(t))
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +196,7 @@ func SynthesizeModuleContext(ctx context.Context, m *cfsm.CFSM, opt Options, tr 
 
 	t = time.Now()
 	g, err := sgraph.FromChi(r)
-	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageSGraph, Duration: time.Since(t)})
+	bddStage(r, StageSGraph, time.Since(t))
 	if err != nil {
 		return nil, err
 	}

@@ -152,6 +152,7 @@ func TestCollectorReport(t *testing.T) {
 		"reactive", "sift", "s-graph", "reduce", "codegen", "estimate",
 		"reduce: 5 module(s)",
 		"bdd: peak", "sift swaps",
+		"bdd stages:", "reactive live ",
 		"cache: 0 hit(s) (0 from disk), 0 miss(es)",
 		"errors: none",
 	} {

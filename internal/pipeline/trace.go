@@ -101,6 +101,16 @@ type Event struct {
 	Modules int // EvRunStart: modules in the run
 	Workers int // EvRunStart: worker goroutines
 
+	// Per-stage BDD snapshot, attached to the EvStage events of the
+	// BDD-bearing stages (reactive, sift, s-graph): live and peak
+	// physical node counts of the module's manager as the stage ends,
+	// and the operation-cache traffic the stage itself generated
+	// (deltas, so per-stage hit rates are meaningful).
+	BDDLive        int // EvStage: live nodes at stage end
+	BDDPeakNodes   int // EvStage: peak live nodes so far
+	BDDCacheHits   int // EvStage: op-cache hits during the stage
+	BDDCacheMisses int // EvStage: op-cache misses during the stage
+
 	PeakNodes  int // EvBDD
 	SiftSwaps  int // EvBDD
 	SiftPasses int // EvBDD
@@ -155,6 +165,13 @@ type Collector struct {
 	stageTotal [numStages]time.Duration
 	stageMax   [numStages]time.Duration
 	stageCount [numStages]int
+
+	// Per-stage BDD aggregates: worst-case footprint across modules,
+	// summed op-cache traffic (see Event.BDDLive and friends).
+	stageBDDLive   [numStages]int // max over modules
+	stageBDDPeak   [numStages]int // max over modules
+	stageBDDHits   [numStages]int
+	stageBDDMisses [numStages]int
 
 	peakNodes    int    // max over modules
 	peakModule   string // module attaining peakNodes
@@ -211,6 +228,14 @@ func (c *Collector) Event(e Event) {
 			if e.Duration > c.stageMax[e.Stage] {
 				c.stageMax[e.Stage] = e.Duration
 			}
+			if e.BDDLive > c.stageBDDLive[e.Stage] {
+				c.stageBDDLive[e.Stage] = e.BDDLive
+			}
+			if e.BDDPeakNodes > c.stageBDDPeak[e.Stage] {
+				c.stageBDDPeak[e.Stage] = e.BDDPeakNodes
+			}
+			c.stageBDDHits[e.Stage] += e.BDDCacheHits
+			c.stageBDDMisses[e.Stage] += e.BDDCacheMisses
 		}
 	case EvBDD:
 		if e.PeakNodes > c.peakNodes {
@@ -279,6 +304,49 @@ func (c *Collector) StageTotal(s Stage) time.Duration {
 	return c.stageTotal[s]
 }
 
+// BDDStageStats summarises the BDD kernel's footprint in one pipeline
+// stage, aggregated across every module the Collector observed: the
+// worst per-module live and peak physical node counts at stage end,
+// and the stage's aggregate operation-cache traffic and hit rate.
+type BDDStageStats struct {
+	Stage        string  `json:"stage"`
+	MaxLiveNodes int     `json:"max_live_nodes"`
+	MaxPeakNodes int     `json:"max_peak_nodes"`
+	CacheHits    int     `json:"cache_hits"`
+	CacheMisses  int     `json:"cache_misses"`
+	CacheHitPct  float64 `json:"cache_hit_pct"`
+}
+
+// BDDStages returns the per-stage BDD statistics for the stages that
+// touched a BDD manager, in execution order. polisd serves this on
+// /stats.
+func (c *Collector) BDDStages() []BDDStageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bddStagesLocked()
+}
+
+func (c *Collector) bddStagesLocked() []BDDStageStats {
+	var out []BDDStageStats
+	for s := Stage(0); s < numStages; s++ {
+		if c.stageBDDLive[s] == 0 && c.stageBDDHits[s]+c.stageBDDMisses[s] == 0 {
+			continue
+		}
+		st := BDDStageStats{
+			Stage:        s.String(),
+			MaxLiveNodes: c.stageBDDLive[s],
+			MaxPeakNodes: c.stageBDDPeak[s],
+			CacheHits:    c.stageBDDHits[s],
+			CacheMisses:  c.stageBDDMisses[s],
+		}
+		if tot := st.CacheHits + st.CacheMisses; tot > 0 {
+			st.CacheHitPct = 100 * float64(st.CacheHits) / float64(tot)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
 // Report renders the one-screen statistics summary.
 func (c *Collector) Report() string {
 	c.mu.Lock()
@@ -311,6 +379,17 @@ func (c *Collector) Report() string {
 	if tot := c.bddHits + c.bddMisses; tot > 0 {
 		fmt.Fprintf(&b, "  bdd op-cache: %d hit(s), %d miss(es) (%.1f%% hit rate), %d reset(s), %d eviction(s)\n",
 			c.bddHits, c.bddMisses, 100*float64(c.bddHits)/float64(tot), c.bddResets, c.bddEvicts)
+	}
+	if stages := c.bddStagesLocked(); len(stages) > 0 {
+		b.WriteString("  bdd stages:")
+		for i, st := range stages {
+			if i > 0 {
+				b.WriteString(" |")
+			}
+			fmt.Fprintf(&b, " %s live %d peak %d cache %.1f%%",
+				st.Stage, st.MaxLiveNodes, st.MaxPeakNodes, st.CacheHitPct)
+		}
+		b.WriteString("\n")
 	}
 	if c.reduceModules > 0 {
 		fmt.Fprintf(&b, "  reduce: %d module(s), vertices %d -> %d, %d test(s) eliminated, %d share(s), %d assign(s) dropped, %d edge(s) redirected\n",

@@ -328,6 +328,28 @@ func TestServerStats(t *testing.T) {
 	if st.Report == "" {
 		t.Error("stats: empty collector report")
 	}
+	// Per-stage BDD footprint: the three BDD-bearing stages must have
+	// reported live/peak node counts for the synthesized modules.
+	if len(st.BDDStages) == 0 {
+		t.Fatal("stats: no per-stage BDD statistics")
+	}
+	stages := make(map[string]pipeline.BDDStageStats)
+	for _, s := range st.BDDStages {
+		stages[s.Stage] = s
+	}
+	for _, want := range []string{"reactive", "sift", "s-graph"} {
+		s, ok := stages[want]
+		if !ok {
+			t.Errorf("stats: missing BDD stage %q in %+v", want, st.BDDStages)
+			continue
+		}
+		if s.MaxLiveNodes <= 0 || s.MaxPeakNodes < s.MaxLiveNodes {
+			t.Errorf("stats: stage %s node counts implausible: %+v", want, s)
+		}
+	}
+	if stages["reactive"].CacheMisses == 0 {
+		t.Error("stats: reactive stage recorded no op-cache traffic")
+	}
 }
 
 // TestServerDiskCacheAcrossRestarts: a second server instance over

@@ -123,7 +123,11 @@ type Stats struct {
 	QueueDepth  int                 `json:"queue_cap"`
 	Workers     int                 `json:"workers"`
 	Cache       pipeline.CacheStats `json:"cache"`
-	Report      string              `json:"report"` // Collector text report
+	// BDDStages is the per-stage BDD kernel footprint across every
+	// module synthesized so far: worst live/peak node counts and
+	// per-stage op-cache hit rates (reactive build, sifting, s-graph).
+	BDDStages []pipeline.BDDStageStats `json:"bdd_stages"`
+	Report    string                   `json:"report"` // Collector text report
 }
 
 // errQueueFull is returned by admission control; mapped to 429.
@@ -524,6 +528,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueDepth: s.cfg.QueueDepth,
 		Workers:    s.cfg.Workers,
 		Cache:      s.cache.Stats(),
+		BDDStages:  s.col.BDDStages(),
 		Report:     s.col.Report(),
 	}
 	w.Header().Set("Content-Type", "application/json")
