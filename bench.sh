@@ -1,17 +1,21 @@
 #!/bin/sh
-# Benchmark harness for the BDD kernel and the synthesis pipeline.
+# Benchmark harness for the BDD kernel / synthesis pipeline and the
+# co-simulation engine. Each suite keeps its own dated history file:
+#
+#   suite "bdd"  ->  BENCH_bdd.json   (synthesis + BDD kernel)
+#   suite "sim"  ->  BENCH_sim.json   (co-simulation throughput)
 #
 #   ./bench.sh           smoke mode: run the key benchmarks once
 #                        (-benchtime=1x) so CI catches bit-rot cheaply
 #   ./bench.sh -full     measured mode: real benchtime; the results are
 #                        parsed (ns/op, B/op, allocs/op and custom
-#                        metrics such as peak-nodes) and APPENDED to
-#                        BENCH_bdd.json as a new dated run, preserving
-#                        the history of prior runs
+#                        metrics such as peak-nodes or reactions/s) and
+#                        APPENDED to the suite's history file as a new
+#                        dated run, preserving prior runs
 #   ./bench.sh -compare  measured mode, read-only: run the benchmarks
 #                        and print a delta table against the most
-#                        recent run recorded in BENCH_bdd.json, without
-#                        touching the file (no benchstat dependency)
+#                        recent run recorded per suite, without
+#                        touching the files (no benchstat dependency)
 #   ./bench.sh -compare -fail-over <pct>
 #                        as -compare, but additionally exit nonzero if
 #                        any benchmark regressed on ns/op by more than
@@ -19,7 +23,7 @@
 #                        opt-in perf gate for CI (pick a generous
 #                        threshold; shared runners are noisy)
 #
-# BENCH_bdd.json is an array of run objects
+# History files are arrays of run objects
 #   [{"date":"YYYY-MM-DD","label":"<commit>","benchmarks":[{...},...]}]
 # with one flat benchmark object per `go test -bench` line, so
 # downstream tooling can diff runs without a Go dependency. Files from
@@ -27,14 +31,26 @@
 # are absorbed as a run labelled "legacy" on the next -full.
 set -eu
 
-PATTERN='BenchmarkTable2Orderings|BenchmarkSynthesizeNetwork|BenchmarkAblationReduce|BenchmarkCharFn'
-OUT=BENCH_bdd.json
+SUITES="bdd sim"
 
-# run_benches honors an optional BENCHTIME override (any -benchtime
-# value, e.g. "10ms" or "1x") so CI can bound a -compare run's cost.
+# run_benches SUITE honors an optional BENCHTIME override (any
+# -benchtime value, e.g. "10ms" or "1x") so CI can bound a run's cost.
 run_benches() {
-    go test -run '^$' -bench "$PATTERN" -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} .
-    go test -run '^$' -bench . -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} ./internal/bdd/
+    case "$1" in
+    bdd)
+        go test -run '^$' -bench 'BenchmarkTable2Orderings|BenchmarkSynthesizeNetwork|BenchmarkAblationReduce|BenchmarkCharFn' \
+            -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} .
+        go test -run '^$' -bench . -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} ./internal/bdd/
+        ;;
+    sim)
+        go test -run '^$' -bench 'BenchmarkSimThroughput' \
+            -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} ./internal/sim/
+        ;;
+    esac
+}
+
+suite_out() {
+    echo "BENCH_$1.json"
 }
 
 # parse_benches: stdin is `go test -bench` output; stdout is one JSON
@@ -58,38 +74,39 @@ parse_benches() {
 }'
 }
 
-# latest_run: print the benchmark-object lines of the newest run in
-# $OUT (or of the whole file when it predates the run-history format).
+# latest_run OUTFILE: print the benchmark-object lines of the newest
+# run (or of the whole file when it predates the run-history format).
 latest_run() {
-    [ -f "$OUT" ] || return 0
-    if grep -q '"benchmarks"' "$OUT"; then
+    [ -f "$1" ] || return 0
+    if grep -q '"benchmarks"' "$1"; then
         awk '
 /"benchmarks"/ { n++; delete b; k = 0; next }
 /"name"/       { s = $0; sub(/^[ \t]*/, "", s); sub(/,[ \t]*$/, "", s); b[k++] = s }
-END            { for (i = 0; i < k; i++) print b[i] }' "$OUT"
+END            { for (i = 0; i < k; i++) print b[i] }' "$1"
     else
         awk '
-/"name"/ { s = $0; sub(/^[ \t]*/, "", s); sub(/,[ \t]*$/, "", s); print s }' "$OUT"
+/"name"/ { s = $0; sub(/^[ \t]*/, "", s); sub(/,[ \t]*$/, "", s); print s }' "$1"
     fi
 }
 
-# append_run NEWFILE: rewrite $OUT with every prior run followed by a
-# new dated run holding NEWFILE's benchmark lines.
+# append_run OUTFILE NEWFILE: rewrite OUTFILE with every prior run
+# followed by a new dated run holding NEWFILE's benchmark lines.
 append_run() {
-    new=$1
+    out=$1
+    new=$2
     date=$(date +%Y-%m-%d)
     label=$(git rev-parse --short HEAD 2>/dev/null || echo "worktree")
     prev=$(mktemp)
-    if [ -f "$OUT" ] && grep -q '"benchmarks"' "$OUT"; then
+    if [ -f "$out" ] && grep -q '"benchmarks"' "$out"; then
         # Drop the final "]" of the runs array; keep everything else.
-        awk 'NR > 1 { print last } { last = $0 } END { if (last != "]") print last }' "$OUT" |
+        awk 'NR > 1 { print last } { last = $0 } END { if (last != "]") print last }' "$out" |
             sed '$ s/}[ \t]*$/},/' >"$prev"
-    elif [ -f "$OUT" ] && grep -q '"name"' "$OUT"; then
+    elif [ -f "$out" ] && grep -q '"name"' "$out"; then
         # Legacy flat-array file: absorb it as one "legacy" run.
         {
             echo "["
             echo " {\"date\":\"unknown\",\"label\":\"legacy\",\"benchmarks\":["
-            latest_run | sed 's/^/  /' | sed '$ ! s/$/,/'
+            latest_run "$out" | sed 's/^/  /' | sed '$ ! s/$/,/'
             echo " ]},"
         } >"$prev"
     else
@@ -101,9 +118,9 @@ append_run() {
         sed 's/^/  /' "$new" | sed '$ ! s/$/,/'
         echo " ]}"
         echo "]"
-    } >"$OUT"
+    } >"$out"
     rm -f "$prev"
-    echo "wrote $OUT ($(grep -c '"name"' "$new") benchmark(s), $(grep -c '"benchmarks"' "$OUT") run(s))"
+    echo "wrote $out ($(grep -c '"name"' "$new") benchmark(s), $(grep -c '"benchmarks"' "$out") run(s))"
 }
 
 # compare OLDFILE NEWFILE: per-benchmark delta table on ns/op, B/op and
@@ -170,42 +187,53 @@ NR == FNR { old[nm($0)] = val($0, "ns_per_op"); next }
 }
 END { exit bad }' "$1" "$2" || {
         echo "bench.sh: ns/op regression beyond ${3}% threshold" >&2
-        exit 1
+        return 1
     }
     echo "no ns/op regression beyond ${3}%"
 }
 
 case "${1:-}" in
 "")
-    BENCHTIME=1x run_benches
+    for suite in $SUITES; do
+        BENCHTIME=1x run_benches "$suite"
+    done
     ;;
 -full)
-    TMP=$(mktemp) NEW=$(mktemp)
-    trap 'rm -f "$TMP" "$NEW"' EXIT
-    run_benches | tee "$TMP"
-    parse_benches <"$TMP" >"$NEW"
-    append_run "$NEW"
+    for suite in $SUITES; do
+        OUT=$(suite_out "$suite")
+        TMP=$(mktemp) NEW=$(mktemp)
+        run_benches "$suite" | tee "$TMP"
+        parse_benches <"$TMP" >"$NEW"
+        append_run "$OUT" "$NEW"
+        rm -f "$TMP" "$NEW"
+    done
     ;;
 -compare)
     FAILOVER=
     if [ "${2:-}" = "-fail-over" ]; then
         FAILOVER=${3:?"-fail-over needs a percentage"}
     fi
-    TMP=$(mktemp) NEW=$(mktemp) OLD=$(mktemp)
-    trap 'rm -f "$TMP" "$NEW" "$OLD"' EXIT
-    latest_run >"$OLD"
-    if [ ! -s "$OLD" ]; then
-        echo "no prior run in $OUT; run ./bench.sh -full first" >&2
-        exit 1
-    fi
-    run_benches | tee "$TMP"
-    parse_benches <"$TMP" >"$NEW"
-    echo
-    printf "%-40s %12s %12s %8s %10s %10s %8s\n" benchmark "old ns/op" "new ns/op" delta "old B/op" "new B/op" allocs
-    compare_runs "$OLD" "$NEW"
-    if [ -n "$FAILOVER" ]; then
-        check_regressions "$OLD" "$NEW" "$FAILOVER"
-    fi
+    STATUS=0
+    for suite in $SUITES; do
+        OUT=$(suite_out "$suite")
+        TMP=$(mktemp) NEW=$(mktemp) OLD=$(mktemp)
+        latest_run "$OUT" >"$OLD"
+        if [ ! -s "$OLD" ]; then
+            echo "no prior run in $OUT; run ./bench.sh -full first (skipping $suite)" >&2
+            rm -f "$TMP" "$NEW" "$OLD"
+            continue
+        fi
+        run_benches "$suite" | tee "$TMP"
+        parse_benches <"$TMP" >"$NEW"
+        echo
+        printf "%-40s %12s %12s %8s %10s %10s %8s\n" "$suite benchmark" "old ns/op" "new ns/op" delta "old B/op" "new B/op" allocs
+        compare_runs "$OLD" "$NEW"
+        if [ -n "$FAILOVER" ]; then
+            check_regressions "$OLD" "$NEW" "$FAILOVER" || STATUS=1
+        fi
+        rm -f "$TMP" "$NEW" "$OLD"
+    done
+    exit $STATUS
     ;;
 *)
     echo "usage: ./bench.sh [-full|-compare]" >&2

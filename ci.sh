@@ -4,7 +4,8 @@
 # ownership checks enabled under the bdddebug build tag, a bounded
 # co-simulation fuzz smoke (fixed seeds, so failures are replayable
 # with the printed `polisc fuzz -seed ... -config ...` line) run both
-# with and without the s-graph reduction engine, a polisd service
+# with and without the s-graph reduction engine and with same-cycle
+# stimulus storms against the batched delivery queue, a polisd service
 # end-to-end smoke under the race detector (ephemeral port, warm-cache
 # second pass, /stats, SIGTERM drain), and a single-iteration
 # benchmark smoke so the harness can't bit-rot.
@@ -15,8 +16,9 @@ go build ./...
 go test ./...
 go test -race ./...
 go test -tags bdddebug ./internal/bdd/
-NETFUZZ_RUNS=400 go test -race -run TestFuzzCampaignRandom ./internal/netfuzz/
+NETFUZZ_RUNS=800 go test -race -run TestFuzzCampaignRandom ./internal/netfuzz/
 NETFUZZ_REDUCE_RUNS=200 go test -race -run TestFuzzCampaignReduce ./internal/netfuzz/
+NETFUZZ_STORM_RUNS=200 go test -race -run TestFuzzCampaignStorm ./internal/netfuzz/
 
 # polisd e2e smoke: race-instrumented daemon on an ephemeral port.
 # The same single-client batch driven twice must hit the warm cache on
@@ -46,10 +48,11 @@ rm -rf "$tmp"
 
 ./bench.sh
 
-# Bounded perf-regression smoke: short-benchtime timings compared to
-# the last recorded -full run, failing only on order-of-magnitude
-# blowups (the generous threshold absorbs shared-runner noise; the
-# real measurement lives in bench.sh -full / -compare).
-if [ -f BENCH_bdd.json ]; then
+# Bounded perf-regression smoke: short-benchtime timings for both
+# suites (bdd synthesis, sim throughput) compared to their last
+# recorded -full runs, failing only on order-of-magnitude blowups
+# (the generous threshold absorbs shared-runner noise; the real
+# measurement lives in bench.sh -full / -compare).
+if [ -f BENCH_bdd.json ] || [ -f BENCH_sim.json ]; then
     BENCHTIME=10ms ./bench.sh -compare -fail-over 400
 fi

@@ -7,7 +7,7 @@
 //
 //	cfsmsim [-design dashboard|shock] [-target hc11|r3k]
 //	        [-until cycles] [-mode vm|behavioral] [-policy rr|prio]
-//	        [-trace]
+//	        [-parallel] [-workers n] [-trace]
 package main
 
 import (
@@ -30,6 +30,8 @@ func main() {
 	until := flag.Int64("until", 2_000_000, "simulation horizon in cycles")
 	mode := flag.String("mode", "vm", "software timing: vm (exact) or behavioral (estimated)")
 	policy := flag.String("policy", "rr", "scheduling policy: rr or prio")
+	parallel := flag.Bool("parallel", false, "simulate clock-independent GALS islands concurrently (one RTOS per island)")
+	workers := flag.Int("workers", 0, "island worker pool size with -parallel; 0 uses GOMAXPROCS")
 	trace := flag.Bool("trace", false, "dump the full event trace")
 	csvPath := flag.String("csv", "", "write the event trace as CSV to this file")
 	dot := flag.Bool("dot", false, "print the network topology in Graphviz format and exit")
@@ -45,9 +47,11 @@ func main() {
 		fatal(fmt.Errorf("unknown target %q", *target))
 	}
 	opts := sim.Options{
-		Cfg:      rtos.DefaultConfig(),
-		Profile:  prof,
-		Ordering: sgraph.OrderSiftAfterSupport,
+		Cfg:       rtos.DefaultConfig(),
+		Profile:   prof,
+		Ordering:  sgraph.OrderSiftAfterSupport,
+		Partition: *parallel,
+		Workers:   *workers,
 	}
 	if *mode == "vm" {
 		opts.Mode = sim.VMExact
@@ -99,11 +103,33 @@ func main() {
 		fatal(err)
 	}
 
+	// A partitioned run has one RTOS (and CPU) per island; aggregate the
+	// per-island statistics for the summary lines.
+	systems := res.Systems
+	if systems == nil {
+		systems = []*rtos.System{res.System}
+	}
+	var busy, now, schedCalls, interrupts int64
+	for _, sys := range systems {
+		busy += sys.BusyCycles
+		if sys.Now > now {
+			now = sys.Now
+		}
+		schedCalls += sys.ScheduleCalls
+		interrupts += sys.Interrupts
+	}
+	util := 0.0
+	if now > 0 {
+		util = float64(busy) / float64(now*int64(len(systems)))
+	}
 	fmt.Printf("simulated %d cycles (%.2f ms at %d kHz), CPU utilisation %.1f%%\n",
 		res.Cycles, float64(res.Cycles)/float64(prof.ClockKHz),
-		prof.ClockKHz, 100*res.System.Utilization())
+		prof.ClockKHz, 100*util)
 	fmt.Printf("software: %d code bytes, %d data bytes; %d scheduler calls, %d interrupts\n",
-		res.CodeBytes, res.DataBytes, res.System.ScheduleCalls, res.System.Interrupts)
+		res.CodeBytes, res.DataBytes, schedCalls, interrupts)
+	if len(systems) > 1 {
+		fmt.Printf("partitions: %d clock-independent islands, one CPU each\n", len(systems))
+	}
 
 	counts := map[string]int{}
 	for _, e := range res.Trace {
@@ -125,9 +151,11 @@ func main() {
 		fmt.Printf("max latency %s -> %s: %d cycles\n", pr[0].Name, pr[1].Name, lat)
 	}
 	fmt.Println("task statistics:")
-	for _, t := range res.System.Tasks {
-		fmt.Printf("  %-14s executions %6d  fired %6d  lost events %4d\n",
-			t.M.Name, t.Executions, t.Fired, t.Lost)
+	for _, sys := range systems {
+		for _, t := range sys.Tasks {
+			fmt.Printf("  %-14s executions %6d  fired %6d  lost events %4d\n",
+				t.M.Name, t.Executions, t.Fired, t.Lost)
+		}
 	}
 	if *trace {
 		fmt.Println("trace:")

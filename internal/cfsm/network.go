@@ -58,6 +58,32 @@ func (c *CFSM) AttachOutput(s *Signal) *Signal {
 	return s
 }
 
+// Subnet returns a network over a subset of n's machines, preserving
+// signal identity (the same *Signal pointers) and network order for
+// both machines and signals. Signals attached to no member machine are
+// dropped. The GALS partition runner uses it to give each
+// clock-independent island its own runtime.
+func (n *Network) Subnet(name string, machines []*CFSM) *Network {
+	sub := &Network{Name: name, owner: make(map[*Signal]bool)}
+	keep := make(map[*Signal]bool)
+	for _, m := range machines {
+		for _, s := range m.Inputs {
+			keep[s] = true
+		}
+		for _, s := range m.Outputs {
+			keep[s] = true
+		}
+	}
+	for _, s := range n.Signals {
+		if keep[s] {
+			sub.Signals = append(sub.Signals, s)
+			sub.owner[s] = true
+		}
+	}
+	sub.Machines = append([]*CFSM(nil), machines...)
+	return sub
+}
+
 // Writers returns the machines emitting s.
 func (n *Network) Writers(s *Signal) []*CFSM {
 	var out []*CFSM

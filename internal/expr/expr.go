@@ -131,9 +131,15 @@ func NewBin(op Op, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
 // Eval implements Expr; relational and logical results are 0/1 and
 // division by zero yields 0 (safe division).
 func (b *Bin) Eval(env Env) int64 {
-	l := b.L.Eval(env)
-	r := b.R.Eval(env)
-	switch b.Op {
+	return EvalOp(b.Op, b.L.Eval(env), b.R.Eval(env))
+}
+
+// EvalOp applies a binary operator to evaluated operands with the
+// language's semantics (0/1 relational results, safe division). It is
+// the allocation-free primitive behind Bin.Eval, shared with the
+// virtual CPU's ALU.
+func EvalOp(op Op, l, r int64) int64 {
+	switch op {
 	case OpAdd:
 		return l + r
 	case OpSub:

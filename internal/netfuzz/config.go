@@ -112,6 +112,7 @@ type Config struct {
 	HW       bool              // one machine moves to the hardware partition
 	Chains   bool              // two software machines chained
 	Reduce   bool              // synthesize with s-graph reduction
+	Storm    bool              // same-cycle duplicate stimulus storms (batched delivery)
 	Faults   Fault             // enabled fault injectors
 	Mutant   rtos.Mutant       // injected bad semantics (self-check only)
 }
@@ -183,10 +184,10 @@ func (c Config) String() string {
 	if c.Policy == rtos.StaticPriority {
 		policy = "prio"
 	}
-	return fmt.Sprintf("n=%d,topo=%s,stim=%d,gap=%d,hz=%d,policy=%s,preempt=%s,poll=%s,hw=%s,chain=%s,reduce=%s,faults=%s,mutant=%s",
+	return fmt.Sprintf("n=%d,topo=%s,stim=%d,gap=%d,hz=%d,policy=%s,preempt=%s,poll=%s,hw=%s,chain=%s,reduce=%s,storm=%s,faults=%s,mutant=%s",
 		c.Machines, topoName(c.Topology), c.Stimuli, c.Gap, c.Horizon, policy,
 		boolName(c.Preempt), boolName(c.Polling), boolName(c.HW), boolName(c.Chains),
-		boolName(c.Reduce), c.Faults, mutantName(c.Mutant))
+		boolName(c.Reduce), boolName(c.Storm), c.Faults, mutantName(c.Mutant))
 }
 
 // Parse decodes a Config from the String encoding. Unknown keys are
@@ -232,6 +233,8 @@ func Parse(s string) (Config, error) {
 			c.Chains = v == "1"
 		case "reduce":
 			c.Reduce = v == "1"
+		case "storm":
+			c.Storm = v == "1"
 		case "faults":
 			c.Faults, err = parseFaults(v)
 		case "mutant":

@@ -174,6 +174,27 @@ func buildStimuli(r *rand.Rand, net *cfsm.Network, cfg Config) ([]sim.Stimulus, 
 	if cfg.Faults&FaultTruncate != 0 {
 		horizon = horizon/2 + 1
 	}
+	// Storm piles 1-3 duplicates onto the *same cycle* as an existing
+	// stimulus (fresh values), so several environment events hit one
+	// Advance step at once — the shape that exercises the batched
+	// delivery queue and its one-place-buffer overwrite accounting.
+	// Applied after the fault injectors so their draws are untouched.
+	if cfg.Storm {
+		var extra []sim.Stimulus
+		for _, s0 := range st {
+			if r.Intn(3) != 0 {
+				continue
+			}
+			for k := 1 + r.Intn(3); k > 0; k-- {
+				var v int64
+				if !s0.Signal.Pure {
+					v = r.Int63n(vr)
+				}
+				extra = append(extra, sim.Stimulus{Time: s0.Time, Signal: s0.Signal, Value: v})
+			}
+		}
+		st = append(st, extra...)
+	}
 	return st, horizon
 }
 
@@ -380,6 +401,11 @@ func RandomConfig(r *rand.Rand, mutant rtos.Mutant) Config {
 	if r.Intn(2) == 0 {
 		c.Reduce = true
 	}
+	// Same precedent as Reduce: drawn last so historical seeds keep
+	// their shapes, they just gain an occasional storm on top.
+	if r.Intn(3) == 0 {
+		c.Storm = true
+	}
 	return c
 }
 
@@ -462,6 +488,9 @@ func shrinkCandidates(c Config) []Config {
 	}
 	if c.Reduce {
 		add(func(d *Config) { d.Reduce = false })
+	}
+	if c.Storm {
+		add(func(d *Config) { d.Storm = false })
 	}
 	if c.Policy == rtos.StaticPriority && !c.Preempt {
 		add(func(d *Config) { d.Policy = rtos.RoundRobin })

@@ -19,6 +19,8 @@ func TestConfigRoundTrip(t *testing.T) {
 			Chains: true, Faults: FaultDrop | FaultBurst, Mutant: rtos.MutantStaleOverwrite},
 		{Machines: 1, Topology: 0, Stimuli: 1, Gap: 1, Faults: faultAll,
 			Mutant: rtos.MutantConsumeUnfired},
+		{Machines: 4, Topology: 1, Stimuli: 6, Gap: 500, Storm: true,
+			Faults: FaultBurst},
 	}
 	for _, c := range cases {
 		want, err := c.normalize()
@@ -145,6 +147,31 @@ func TestFuzzCampaignReduce(t *testing.T) {
 	res := Campaign(1, runs, cfg, false, &sb)
 	if len(res.Failures) != 0 {
 		t.Fatalf("reduce campaign found %d violations:\n%s", len(res.Failures), sb.String())
+	}
+}
+
+// TestFuzzCampaignStorm pins storm coverage: same-cycle duplicate
+// stimulus storms on a dense timeline push several environment events
+// into a single time-advance, the worst case for the batched delivery
+// queue's ordering and one-place-buffer overwrite accounting. The
+// randomized campaign also draws storm scenarios, but this fixed config
+// cannot rotate away. NETFUZZ_STORM_RUNS bumps the budget (ci.sh).
+func TestFuzzCampaignStorm(t *testing.T) {
+	runs := 40
+	if s := os.Getenv("NETFUZZ_STORM_RUNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad NETFUZZ_STORM_RUNS %q: %v", s, err)
+		}
+		runs = n
+	}
+	cfg := DefaultConfig()
+	cfg.Storm = true
+	cfg.Gap = 400 // dense spacing: storms land on a busy system
+	var sb strings.Builder
+	res := Campaign(1, runs, cfg, false, &sb)
+	if len(res.Failures) != 0 {
+		t.Fatalf("storm campaign found %d violations:\n%s", len(res.Failures), sb.String())
 	}
 }
 

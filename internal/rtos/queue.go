@@ -1,0 +1,64 @@
+package rtos
+
+import "polis/internal/cfsm"
+
+// emitRec is one emission awaiting delivery: a completed reaction's
+// output event, copied out of the task's reused reaction buffer before
+// any routing runs, so an ISR-context re-execution of the emitter
+// cannot clobber events still in flight.
+type emitRec struct {
+	from *Task
+	sig  *cfsm.Signal
+	val  int64
+	// hw marks emissions of the hardware partition, which route like
+	// environment events (interrupt/polling) rather than directly into
+	// task buffers.
+	hw bool
+}
+
+// emitQueue is a growable power-of-two ring buffer of pending
+// emissions. The system pushes every emission of a completed reaction
+// and then drains FIFO; steady state performs no allocation (the ring
+// keeps its capacity).
+type emitQueue struct {
+	buf  []emitRec
+	head int // next pop
+	tail int // next push
+}
+
+func (q *emitQueue) empty() bool { return q.head == q.tail }
+
+func (q *emitQueue) push(r emitRec) {
+	if len(q.buf) == 0 {
+		q.buf = make([]emitRec, 16)
+	}
+	next := (q.tail + 1) & (len(q.buf) - 1)
+	if next == q.head {
+		q.grow()
+		next = (q.tail + 1) & (len(q.buf) - 1)
+	}
+	q.buf[q.tail] = r
+	q.tail = next
+}
+
+func (q *emitQueue) pop() emitRec {
+	r := q.buf[q.head]
+	q.buf[q.head].from = nil
+	q.buf[q.head].sig = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	return r
+}
+
+// grow doubles the ring, unrolling the wrapped contents.
+func (q *emitQueue) grow() {
+	old := q.buf
+	n := len(old)
+	q.buf = make([]emitRec, 2*n)
+	m := 0
+	for i := q.head; i != q.tail; i = (i + 1) & (n - 1) {
+		q.buf[m] = old[i]
+		m++
+	}
+	q.head = 0
+	q.tail = m
+}

@@ -11,6 +11,13 @@
 // generated RTOS (used by internal/sim for co-simulation), a ROM/RAM
 // size model for it, and a C source generator for the artefact a
 // target build would compile.
+//
+// The runtime model is throughput-oriented: task buffers are dense
+// arrays indexed by slots the cfsm.Layout resolves once at task
+// construction, and a steady-state reaction allocates nothing. The
+// reference semantics (map-based, event-at-a-time) is frozen in
+// internal/sim/internal/refsim and the differential tests there pin
+// this implementation to it.
 package rtos
 
 import (
@@ -133,38 +140,52 @@ func DefaultConfig() Config {
 
 // Task is the runtime record of one software CFSM: its private input
 // flags and value buffers, the frozen snapshot while it executes, and
-// the events remembered for the next execution (Section IV-D).
+// the events remembered for the next execution (Section IV-D). All
+// buffers are dense arrays indexed by the slots of the machine's
+// cfsm.Layout; begin/post/finish allocate nothing.
 type Task struct {
 	M        *cfsm.CFSM
 	Priority int
 
-	// flags/values are the visible input buffers.
-	flags  map[*cfsm.Signal]bool
-	values map[*cfsm.Signal]int64
+	// Lay resolves this machine's signals and state variables to the
+	// dense slot indices all buffers below are addressed with.
+	Lay *cfsm.Layout
+
+	// flags/values are the visible one-place input buffers, by input
+	// slot.
+	flags  []bool
+	values []int64
 	// pendFlags/pendValues buffer events arriving while the task
 	// executes (the freeze window).
-	pendFlags  map[*cfsm.Signal]bool
-	pendValues map[*cfsm.Signal]int64
+	pendFlags  []bool
+	pendValues []int64
 
-	running   bool
-	enabled   bool  // set by event arrival, cleared when a run starts
-	remaining int64 // cycles left in the current execution
-	// react is called when an execution completes, with the frozen
-	// snapshot; it returns the emissions and whether any transition
-	// fired (events are consumed only if it did). A reaction error —
-	// e.g. a virtual-machine fault in co-simulation — aborts the
-	// whole system run with the task name attached; it never panics.
-	react func(snap cfsm.Snapshot) (cfsm.Reaction, error)
-	// cost returns the execution time in cycles for a snapshot.
-	cost func(snap cfsm.Snapshot) int64
+	running bool
+	enabled bool // set by event arrival, cleared when a run starts
+
+	// react executes one reaction on the frozen dense snapshot,
+	// writing the result into out. A reaction error — e.g. a
+	// virtual-machine fault in co-simulation — aborts the whole system
+	// run with the task name attached; it never panics.
+	react func(snap *cfsm.DenseSnapshot, out *cfsm.DenseReaction) error
+	// cost returns the execution time in cycles of the reaction just
+	// produced by react.
+	cost func() int64
 
 	// mutant is the injected bad semantics (harness self-checks only),
 	// copied from the system config.
 	mutant Mutant
 
-	state map[*cfsm.StateVar]int64
-	// frozen snapshot for the in-flight execution
-	frozen cfsm.Snapshot
+	// state is the committed state, by state slot.
+	state []int64
+	// frozen is the reused snapshot buffer of the in-flight execution;
+	// out is the reused reaction buffer it produced. Both stay valid
+	// until finish because a task has at most one in-flight execution.
+	frozen *cfsm.DenseSnapshot
+	out    cfsm.DenseReaction
+
+	// chainNext is the chain successor, resolved by NewSystem.
+	chainNext *Task
 
 	// Stats
 	Executions int64
@@ -182,20 +203,21 @@ func (t *Task) Enabled() bool {
 }
 
 // post delivers an event to the task's buffers, honouring the freeze
-// window and counting one-place buffer overwrites.
-func (t *Task) post(s *cfsm.Signal, v int64) {
+// window and counting one-place buffer overwrites. slot is the input
+// slot of the signal in the task's layout.
+func (t *Task) post(slot int, v int64) {
 	if t.running {
-		if t.pendFlags[s] && t.mutant != MutantLostUndercount {
+		if t.pendFlags[slot] && t.mutant != MutantLostUndercount {
 			t.Lost++
 		}
-		if t.pendFlags[s] && t.mutant == MutantStaleOverwrite {
+		if t.pendFlags[slot] && t.mutant == MutantStaleOverwrite {
 			return // flag already set; stale value kept
 		}
-		t.pendFlags[s] = true
-		t.pendValues[s] = v
+		t.pendFlags[slot] = true
+		t.pendValues[slot] = v
 		return
 	}
-	if t.flags[s] {
+	if t.flags[slot] {
 		if t.mutant != MutantLostUndercount {
 			t.Lost++
 		}
@@ -204,61 +226,65 @@ func (t *Task) post(s *cfsm.Signal, v int64) {
 			return // flag already set; stale value kept
 		}
 	}
-	t.flags[s] = true
-	t.values[s] = v
+	t.flags[slot] = true
+	t.values[slot] = v
 	t.enabled = true
 }
 
-// begin freezes the input snapshot and marks the task running.
-func (t *Task) begin() cfsm.Snapshot {
-	snap := cfsm.Snapshot{
-		Present: make(map[*cfsm.Signal]bool, len(t.flags)),
-		Values:  make(map[*cfsm.Signal]int64, len(t.values)),
-		State:   t.state,
-	}
-	for s, p := range t.flags {
+// begin freezes the input snapshot into the task's reused buffer and
+// marks the task running. Values of absent signals read as zero,
+// matching the map-based snapshot that held no entry for them.
+func (t *Task) begin() *cfsm.DenseSnapshot {
+	d := t.frozen
+	for i, p := range t.flags {
+		d.Present[i] = p
 		if p {
-			snap.Present[s] = true
-			snap.Values[s] = t.values[s]
+			d.Values[i] = t.values[i]
+		} else {
+			d.Values[i] = 0
 		}
 	}
+	copy(d.State, t.state)
 	t.running = true
 	t.enabled = false
-	t.frozen = snap
-	return snap
+	return d
 }
 
 // finish completes an execution: consumed flags are cleared only when
 // a transition fired, pending events become visible, and the next
 // state is committed.
-func (t *Task) finish(r cfsm.Reaction) {
+func (t *Task) finish(fired bool, nextState []int64) {
 	t.Executions++
-	if r.Fired {
+	if fired {
 		t.Fired++
-		for s := range t.frozen.Present {
-			t.flags[s] = false
+		for i, p := range t.frozen.Present {
+			if p {
+				t.flags[i] = false
+			}
 		}
-		t.state = r.NextState
+		copy(t.state, nextState)
 	} else if t.mutant == MutantConsumeUnfired {
-		for s := range t.frozen.Present {
-			t.flags[s] = false
+		for i, p := range t.frozen.Present {
+			if p {
+				t.flags[i] = false
+			}
 		}
 	}
-	for s, p := range t.pendFlags {
-		if p {
-			if t.flags[s] && t.mutant != MutantLostUndercount {
-				t.Lost++
-			}
-			if t.flags[s] && t.mutant == MutantStaleOverwrite {
-				t.enabled = true
-			} else {
-				t.flags[s] = true
-				t.values[s] = t.pendValues[s]
-				t.enabled = true
-			}
+	for i, p := range t.pendFlags {
+		if !p {
+			continue
 		}
-		delete(t.pendFlags, s)
-		delete(t.pendValues, s)
+		if t.flags[i] && t.mutant != MutantLostUndercount {
+			t.Lost++
+		}
+		if t.flags[i] && t.mutant == MutantStaleOverwrite {
+			t.enabled = true
+		} else {
+			t.flags[i] = true
+			t.values[i] = t.pendValues[i]
+			t.enabled = true
+		}
+		t.pendFlags[i] = false
 	}
 	t.running = false
 }
@@ -270,29 +296,82 @@ func Infallible(f func(cfsm.Snapshot) cfsm.Reaction) func(cfsm.Snapshot) (cfsm.R
 	return func(snap cfsm.Snapshot) (cfsm.Reaction, error) { return f(snap), nil }
 }
 
-// NewTask builds the runtime record for a software CFSM with the given
-// reaction function and cost model.
-func NewTask(m *cfsm.CFSM, react func(cfsm.Snapshot) (cfsm.Reaction, error),
-	cost func(cfsm.Snapshot) int64) *Task {
-	st := make(map[*cfsm.StateVar]int64, len(m.States))
-	for _, sv := range m.States {
-		st[sv] = sv.Init
+// NewDenseTask builds the runtime record for a software CFSM with a
+// dense reaction function and cost model. lay may be nil, in which
+// case a fresh layout is built for the machine.
+func NewDenseTask(m *cfsm.CFSM, lay *cfsm.Layout,
+	react func(snap *cfsm.DenseSnapshot, out *cfsm.DenseReaction) error,
+	cost func() int64) *Task {
+	if lay == nil {
+		lay = cfsm.NewLayout(m)
 	}
-	return &Task{
+	ni, ns := len(lay.Ins), len(lay.States)
+	t := &Task{
 		M:          m,
-		flags:      make(map[*cfsm.Signal]bool),
-		values:     make(map[*cfsm.Signal]int64),
-		pendFlags:  make(map[*cfsm.Signal]bool),
-		pendValues: make(map[*cfsm.Signal]int64),
+		Lay:        lay,
+		flags:      make([]bool, ni),
+		values:     make([]int64, ni),
+		pendFlags:  make([]bool, ni),
+		pendValues: make([]int64, ni),
+		state:      make([]int64, ns),
 		react:      react,
 		cost:       cost,
-		state:      st,
+		frozen:     lay.NewDense(),
 	}
+	for i, sv := range lay.States {
+		t.state[i] = sv.Init
+	}
+	t.out.NextState = make([]int64, 0, ns)
+	return t
+}
+
+// NewBehavioralTask builds a task that reacts with the dense reference
+// interpreter (allocation-free) and a fixed cost model.
+func NewBehavioralTask(m *cfsm.CFSM, cost func() int64) *Task {
+	lay := cfsm.NewLayout(m)
+	react := func(snap *cfsm.DenseSnapshot, out *cfsm.DenseReaction) error {
+		lay.ReactInto(snap, out)
+		return nil
+	}
+	return NewDenseTask(m, lay, react, cost)
+}
+
+// NewTask builds the runtime record for a software CFSM from a
+// map-based reaction function and cost model. It adapts the legacy
+// callback signature onto the dense runtime by materialising a map
+// snapshot per reaction, so it allocates; hot paths should use
+// NewDenseTask or NewBehavioralTask instead.
+func NewTask(m *cfsm.CFSM, react func(cfsm.Snapshot) (cfsm.Reaction, error),
+	cost func(cfsm.Snapshot) int64) *Task {
+	lay := cfsm.NewLayout(m)
+	var lastSnap cfsm.Snapshot
+	dreact := func(snap *cfsm.DenseSnapshot, out *cfsm.DenseReaction) error {
+		lastSnap = snap.Snapshot()
+		r, err := react(lastSnap)
+		if err != nil {
+			return err
+		}
+		out.Fired = r.Fired
+		out.Emitted = append(out.Emitted[:0], r.Emitted...)
+		out.NextState = out.NextState[:0]
+		for _, sv := range lay.States {
+			out.NextState = append(out.NextState, r.NextState[sv])
+		}
+		return nil
+	}
+	dcost := func() int64 { return cost(lastSnap) }
+	return NewDenseTask(m, lay, dreact, dcost)
 }
 
 // State exposes the task's committed state (for assertions and
 // latency checks in tests and experiments).
-func (t *Task) State(sv *cfsm.StateVar) int64 { return t.state[sv] }
+func (t *Task) State(sv *cfsm.StateVar) int64 {
+	slot := t.Lay.StateSlot(sv)
+	if slot < 0 {
+		return 0
+	}
+	return t.state[slot]
+}
 
 // Validate checks a configuration against a network.
 func (c *Config) Validate(n *cfsm.Network) error {

@@ -1,8 +1,8 @@
 package rtos
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"polis/internal/cfsm"
 )
@@ -26,32 +26,63 @@ type TraceEvent struct {
 // originate directly from an environment stimulus (EmitEnv with
 // interrupt delivery); internal emissions, hardware completions and
 // deferred poll deliveries carry env=false.
+//
+// The hooks keep the map-based Snapshot/Reaction types; the runtime
+// materialises them from its dense buffers only when a probe is
+// attached, so probe-less simulation stays allocation-free.
 type Probe interface {
 	TaskPosted(t *Task, sig *cfsm.Signal, val int64, now int64, env bool)
 	TaskBegan(t *Task, snap cfsm.Snapshot, now int64)
 	TaskFinished(t *Task, r cfsm.Reaction, cycles int64, now int64)
 }
 
-// running is one in-flight software execution.
+// running is one in-flight software execution. The reaction's result
+// lives in the task's reused buffers (a task has at most one in-flight
+// execution), so the record is a small value — no per-execution
+// allocation. task == nil marks "no execution".
 type running struct {
-	task     *Task
-	reaction cfsm.Reaction
-	end      int64
-	cost     int64 // reaction cycles charged (without scheduler overhead)
-	inISR    bool
+	task  *Task
+	end   int64
+	cost  int64 // reaction cycles charged (without scheduler overhead)
+	inISR bool
 }
 
 // hwRun is one in-flight hardware reaction.
 type hwRun struct {
-	task     *Task
-	reaction cfsm.Reaction
-	end      int64
+	task *Task
+	end  int64
+}
+
+// routeEntry is one reader of a signal, in network order.
+type routeEntry struct {
+	t    *Task
+	slot int // input slot of the signal in the reader's layout
+	hw   bool
+}
+
+// sigRoute is the precomputed delivery plan of one signal: its readers
+// in network order (so traces stay deterministic), the configured
+// mechanism and the poll-port slot. Resolving this once at NewSystem
+// removes the per-emission Readers() scan and map lookups from the hot
+// loop.
+type sigRoute struct {
+	entries  []routeEntry
+	swCount  int
+	delivery Delivery
+	inISR    bool
+	pollSlot int // index into pollPort/pollValue; -1 when not polled
 }
 
 // System is the executable cycle-level model of one generated RTOS
 // instance plus the CFSM network it serves. Software tasks contend for
 // the single CPU under the configured policy; hardware machines react
 // concurrently off-CPU after a fixed delay.
+//
+// Delivery is batched: when a reaction completes, its emissions are
+// copied into a ring buffer and drained FIFO. Because emissions only
+// ever occur at reaction completion (never while another emission is
+// being routed), the FIFO drain delivers events in exactly the order
+// the event-at-a-time reference implementation did.
 type System struct {
 	N   *cfsm.Network
 	Cfg Config
@@ -62,29 +93,39 @@ type System struct {
 	// hwTasks lists hardware tasks in network order, so reaction
 	// start-up is deterministic (map iteration is not).
 	hwTasks []*Task
-	// chainNext maps a task to its chain successor (Section IV-A).
-	chainNext map[*Task]*Task
 
 	// Probe, when set before the first EmitEnv/Advance, observes every
 	// delivery, execution start and completion.
 	Probe Probe
 
+	// Ctx, when set, is polled periodically inside Advance so long
+	// simulations cancel promptly; Advance then returns ctx.Err().
+	Ctx context.Context
+
 	Now   int64
 	Trace []TraceEvent
 
-	current *running
-	stack   []*running // preempted executions
-	hwRuns  []*hwRun
-	freeAt  int64 // CPU occupied by ISR/poll bookkeeping until here
+	current   running
+	stack     []running // preempted executions
+	hwRuns    []hwRun
+	hwScratch []hwRun // reused buffer for completions due now
+	freeAt    int64   // CPU occupied by ISR/poll bookkeeping until here
+
+	routes map[*cfsm.Signal]*sigRoute
+	queue  emitQueue
 
 	// Polling: events from hardware/environment latched at the I/O
-	// port until the poll routine runs.
-	pollPort   map[*cfsm.Signal]bool
-	pollValue  map[*cfsm.Signal]int64
+	// port until the poll routine runs. pollSigs lists the polled
+	// signals in network order; pollPort/pollValue are indexed by the
+	// route's pollSlot.
+	pollSigs   []*cfsm.Signal
+	pollPort   []bool
+	pollValue  []int64
 	nextPoll   int64
 	hasPolling bool
 
-	rr int // round-robin cursor
+	rr       int // round-robin cursor
+	ctxTicks int // iterations since the last Ctx poll
 
 	// Stats
 	ScheduleCalls int64
@@ -96,7 +137,6 @@ type System struct {
 	// never reaches a task's buffers but is legal under the paper's
 	// semantics, and must be accounted rather than silent.
 	PollDropped int64
-	idleSince   int64
 }
 
 // NewSystem builds the runtime. makeTask supplies each software
@@ -108,17 +148,14 @@ func NewSystem(n *cfsm.Network, cfg Config,
 		return nil, err
 	}
 	s := &System{
-		N:         n,
-		Cfg:       cfg,
-		taskOf:    make(map[*cfsm.CFSM]*Task),
-		hwOf:      make(map[*cfsm.CFSM]*Task),
-		pollPort:  make(map[*cfsm.Signal]bool),
-		pollValue: make(map[*cfsm.Signal]int64),
+		N:      n,
+		Cfg:    cfg,
+		taskOf: make(map[*cfsm.CFSM]*Task),
+		hwOf:   make(map[*cfsm.CFSM]*Task),
 	}
 	for _, m := range n.Machines {
 		if cfg.HW[m] {
-			mm := m
-			t := NewTask(m, Infallible(mm.React), func(cfsm.Snapshot) int64 { return cfg.HWDelay })
+			t := NewBehavioralTask(m, func() int64 { return cfg.HWDelay })
 			t.mutant = cfg.Mutant
 			s.hwOf[m] = t
 			s.hwTasks = append(s.hwTasks, t)
@@ -133,36 +170,62 @@ func NewSystem(n *cfsm.Network, cfg Config,
 		s.taskOf[m] = t
 		s.Tasks = append(s.Tasks, t)
 	}
-	for sig, d := range cfg.Deliver {
+	for _, d := range cfg.Deliver {
 		if d == Polling {
-			_ = sig
 			s.hasPolling = true
 		}
 	}
-	s.chainNext = make(map[*Task]*Task)
 	for _, chain := range cfg.Chains {
 		for i := 0; i+1 < len(chain); i++ {
 			a := s.taskOf[chain[i]]
 			b := s.taskOf[chain[i+1]]
 			if a != nil && b != nil {
-				s.chainNext[a] = b
+				a.chainNext = b
 			}
 		}
 	}
+	s.buildRoutes()
 	s.nextPoll = cfg.PollPeriod
 	return s, nil
 }
 
+// buildRoutes precomputes the delivery plan of every network signal.
+func (s *System) buildRoutes() {
+	s.routes = make(map[*cfsm.Signal]*sigRoute, len(s.N.Signals))
+	for _, sig := range s.N.Signals {
+		rt := &sigRoute{
+			delivery: Interrupt,
+			inISR:    s.Cfg.InISR[sig],
+			pollSlot: -1,
+		}
+		if d, ok := s.Cfg.Deliver[sig]; ok {
+			rt.delivery = d
+		}
+		for _, m := range s.N.Readers(sig) {
+			if hw, ok := s.hwOf[m]; ok {
+				rt.entries = append(rt.entries, routeEntry{t: hw, slot: hw.Lay.InSlot(sig), hw: true})
+				continue
+			}
+			t := s.taskOf[m]
+			rt.entries = append(rt.entries, routeEntry{t: t, slot: t.Lay.InSlot(sig)})
+			rt.swCount++
+		}
+		s.routes[sig] = rt
+	}
+	// Poll ports, in network signal order (the drain order).
+	for _, sig := range s.N.Signals {
+		rt := s.routes[sig]
+		if rt.delivery == Polling && rt.swCount > 0 {
+			rt.pollSlot = len(s.pollSigs)
+			s.pollSigs = append(s.pollSigs, sig)
+		}
+	}
+	s.pollPort = make([]bool, len(s.pollSigs))
+	s.pollValue = make([]int64, len(s.pollSigs))
+}
+
 // TaskFor returns the runtime task of a software machine.
 func (s *System) TaskFor(m *cfsm.CFSM) *Task { return s.taskOf[m] }
-
-// delivery returns the configured mechanism for a signal.
-func (s *System) delivery(sig *cfsm.Signal) Delivery {
-	if d, ok := s.Cfg.Deliver[sig]; ok {
-		return d
-	}
-	return Interrupt
-}
 
 // EmitEnv injects an environment event at the current time. Events
 // bound for software pass through the configured delivery mechanism
@@ -174,29 +237,38 @@ func (s *System) EmitEnv(sig *cfsm.Signal, val int64) error {
 	return s.routeFromHardware(sig, val, true)
 }
 
+// ResetTrace discards the recorded trace, keeping its capacity, so a
+// long-running or benchmarked system does not grow (or re-allocate)
+// the trace buffer without bound.
+func (s *System) ResetTrace() { s.Trace = s.Trace[:0] }
+
 // routeFromHardware delivers an event produced outside the CPU: to
 // hardware readers directly, to software readers by interrupt or by
 // latching it at the poll port. env marks direct environment stimuli
 // for the probe.
 func (s *System) routeFromHardware(sig *cfsm.Signal, val int64, env bool) error {
+	rt := s.routes[sig]
+	if rt == nil {
+		return nil
+	}
 	interrupted := false
-	for _, m := range s.N.Readers(sig) {
-		if hw, ok := s.hwOf[m]; ok {
-			s.probePosted(hw, sig, val, env)
-			hw.post(sig, val)
+	for _, e := range rt.entries {
+		if e.hw {
+			s.probePosted(e.t, sig, val, env)
+			e.t.post(e.slot, val)
 			if err := s.startHW(); err != nil {
 				return err
 			}
 			continue
 		}
-		switch s.delivery(sig) {
+		switch rt.delivery {
 		case Polling:
-			if s.pollPort[sig] {
+			if s.pollPort[rt.pollSlot] {
 				// One-place port: the undelivered event is lost.
 				s.PollDropped++
 			}
-			s.pollPort[sig] = true
-			s.pollValue[sig] = val
+			s.pollPort[rt.pollSlot] = true
+			s.pollValue[rt.pollSlot] = val
 		case Interrupt:
 			if !interrupted {
 				// One interrupt services all sensitive tasks.
@@ -204,7 +276,7 @@ func (s *System) routeFromHardware(sig *cfsm.Signal, val int64, env bool) error 
 				s.Interrupts++
 				s.stealCPU(s.Cfg.ISROverhead)
 			}
-			if err := s.postToTask(s.taskOf[m], sig, val, s.Cfg.InISR[sig], env); err != nil {
+			if err := s.postToTask(e.t, e.slot, sig, val, rt.inISR, env); err != nil {
 				return err
 			}
 		}
@@ -215,32 +287,60 @@ func (s *System) routeFromHardware(sig *cfsm.Signal, val int64, env bool) error 
 // emitFromSW delivers an event emitted by a software task.
 func (s *System) emitFromSW(from *Task, sig *cfsm.Signal, val int64) error {
 	s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: from.M.Name})
-	readers := s.N.Readers(sig)
-	extra := len(readers) - 1
+	rt := s.routes[sig]
+	if rt == nil {
+		return nil
+	}
+	extra := len(rt.entries) - 1
 	if extra > 0 {
 		s.stealCPU(int64(extra) * s.Cfg.EmitOverhead)
 	}
-	for _, m := range readers {
-		if hw, ok := s.hwOf[m]; ok {
+	for _, e := range rt.entries {
+		if e.hw {
 			// SW -> HW through a memory-mapped port: immediate.
-			s.probePosted(hw, sig, val, false)
-			hw.post(sig, val)
+			s.probePosted(e.t, sig, val, false)
+			e.t.post(e.slot, val)
 			if err := s.startHW(); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := s.postToTask(s.taskOf[m], sig, val, false, false); err != nil {
+		if err := s.postToTask(e.t, e.slot, sig, val, false, false); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// emitFromHW delivers emissions of a completed hardware reaction.
-func (s *System) emitFromHW(from *Task, sig *cfsm.Signal, val int64) error {
-	s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: from.M.Name})
-	return s.routeFromHardware(sig, val, false)
+// pushEmissions copies a completed reaction's emissions into the ring.
+// Copying before any routing runs matters: routing can re-begin the
+// emitting task in ISR context, which would overwrite the reused
+// reaction buffer the emissions live in.
+func (s *System) pushEmissions(from *Task, hw bool) {
+	for _, em := range from.out.Emitted {
+		s.queue.push(emitRec{from: from, sig: em.Signal, val: em.Value, hw: hw})
+	}
+}
+
+// drainQueue routes queued emissions FIFO. Reactions triggered while
+// draining (ISR-context executions) do not emit until they complete in
+// the event loop, so the queue never grows mid-drain and the delivery
+// order matches event-at-a-time routing exactly.
+func (s *System) drainQueue() error {
+	for !s.queue.empty() {
+		e := s.queue.pop()
+		if e.hw {
+			s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: e.sig, Value: e.val, From: e.from.M.Name})
+			if err := s.routeFromHardware(e.sig, e.val, false); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.emitFromSW(e.from, e.sig, e.val); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // probePosted reports a raw delivery to the probe.
@@ -257,22 +357,26 @@ func taskError(t *Task, err error) error {
 
 // beginTask freezes a snapshot, runs the reaction function and charges
 // its cost, reporting begin to the probe. It is the single path every
-// execution start takes.
-func (s *System) beginTask(t *Task) (cfsm.Reaction, int64, error) {
+// execution start takes. The reaction's result lives in t.out until
+// finishTask.
+func (s *System) beginTask(t *Task) (int64, error) {
 	snap := t.begin()
 	if s.Probe != nil {
-		s.Probe.TaskBegan(t, snap, s.Now)
+		s.Probe.TaskBegan(t, snap.Snapshot(), s.Now)
 	}
-	r, err := t.react(snap)
-	if err != nil {
-		return cfsm.Reaction{}, 0, taskError(t, err)
+	if err := t.react(snap, &t.out); err != nil {
+		return 0, taskError(t, err)
 	}
-	return r, t.cost(snap), nil
+	return t.cost(), nil
 }
 
 // finishTask completes an execution and reports it to the probe.
-func (s *System) finishTask(t *Task, r cfsm.Reaction, cycles int64) {
-	t.finish(r)
+func (s *System) finishTask(t *Task, cycles int64) {
+	var r cfsm.Reaction
+	if s.Probe != nil {
+		r = t.out.Reaction(t.Lay)
+	}
+	t.finish(t.out.Fired, t.out.NextState)
 	if s.Probe != nil {
 		s.Probe.TaskFinished(t, r, cycles, s.Now)
 	}
@@ -280,24 +384,24 @@ func (s *System) finishTask(t *Task, r cfsm.Reaction, cycles int64) {
 
 // postToTask sets the private flag and handles preemption and
 // ISR-context execution.
-func (s *System) postToTask(t *Task, sig *cfsm.Signal, val int64, inISR, env bool) error {
+func (s *System) postToTask(t *Task, slot int, sig *cfsm.Signal, val int64, inISR, env bool) error {
 	if t == nil {
 		return nil
 	}
 	s.probePosted(t, sig, val, env)
-	t.post(sig, val)
+	t.post(slot, val)
 	if inISR && !t.running {
 		// Execute the critical task inside the ISR, ahead of
 		// everything, unless it is already running.
-		r, d, err := s.beginTask(t)
+		d, err := s.beginTask(t)
 		if err != nil {
 			return err
 		}
 		s.preemptCurrent()
-		s.current = &running{task: t, reaction: r, end: s.Now + d, cost: d, inISR: true}
+		s.current = running{task: t, end: s.Now + d, cost: d, inISR: true}
 		return nil
 	}
-	if s.Cfg.Preemptive && s.current != nil && !s.current.inISR &&
+	if s.Cfg.Preemptive && s.current.task != nil && !s.current.inISR &&
 		t.Priority > s.current.task.Priority && t.Enabled() {
 		s.preemptCurrent()
 	}
@@ -307,13 +411,13 @@ func (s *System) postToTask(t *Task, sig *cfsm.Signal, val int64, inISR, env boo
 // preemptCurrent suspends the in-flight execution, remembering its
 // remaining cycles.
 func (s *System) preemptCurrent() {
-	if s.current == nil {
+	if s.current.task == nil {
 		return
 	}
 	cur := s.current
 	cur.end -= s.Now // store remaining cycles
 	s.stack = append(s.stack, cur)
-	s.current = nil
+	s.current.task = nil
 }
 
 // stealCPU models cycles taken from the running task by ISR or RTOS
@@ -323,7 +427,7 @@ func (s *System) stealCPU(cycles int64) {
 		return
 	}
 	s.BusyCycles += cycles
-	if s.current != nil {
+	if s.current.task != nil {
 		s.current.end += cycles
 		return
 	}
@@ -339,11 +443,10 @@ func (s *System) stealCPU(cycles int64) {
 func (s *System) startHW() error {
 	for _, hw := range s.hwTasks {
 		if !hw.running && hw.Enabled() {
-			r, _, err := s.beginTask(hw)
-			if err != nil {
+			if _, err := s.beginTask(hw); err != nil {
 				return err
 			}
-			s.hwRuns = append(s.hwRuns, &hwRun{task: hw, reaction: r, end: s.Now + s.Cfg.HWDelay})
+			s.hwRuns = append(s.hwRuns, hwRun{task: hw, end: s.Now + s.Cfg.HWDelay})
 		}
 	}
 	return nil
@@ -396,10 +499,18 @@ func (s *System) Advance(to int64) error {
 		return fmt.Errorf("rtos: time going backwards (%d < %d)", to, s.Now)
 	}
 	for {
+		if s.Ctx != nil {
+			if s.ctxTicks++; s.ctxTicks >= 1024 {
+				s.ctxTicks = 0
+				if err := s.Ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
 		// Start work if the CPU is idle and not held by ISR/poll
 		// bookkeeping. A preempted execution resumes unless a
 		// strictly higher-priority task is enabled.
-		if s.current == nil && s.Now >= s.freeAt {
+		if s.current.task == nil && s.Now >= s.freeAt {
 			cand := s.pickTask()
 			if len(s.stack) > 0 {
 				top := s.stack[len(s.stack)-1]
@@ -410,29 +521,29 @@ func (s *System) Advance(to int64) error {
 			}
 			if cand != nil {
 				s.ScheduleCalls++
-				r, d, err := s.beginTask(cand)
+				d, err := s.beginTask(cand)
 				if err != nil {
 					return err
 				}
 				s.BusyCycles += s.Cfg.ScheduleOverhead + d
-				s.current = &running{task: cand, reaction: r, end: s.Now + s.Cfg.ScheduleOverhead + d, cost: d}
+				s.current = running{task: cand, end: s.Now + s.Cfg.ScheduleOverhead + d, cost: d}
 			}
 		}
 
 		// Find the next event.
 		next := to
 		kind := 0 // 0 none, 1 task done, 2 hw done, 3 poll, 4 cpu free
-		if s.current != nil && s.current.end <= next {
+		if s.current.task != nil && s.current.end <= next {
 			next = s.current.end
 			kind = 1
 		}
-		if s.current == nil && s.freeAt > s.Now && s.workPending() && s.freeAt <= next {
+		if s.current.task == nil && s.freeAt > s.Now && s.workPending() && s.freeAt <= next {
 			next = s.freeAt
 			kind = 4
 		}
-		for _, h := range s.hwRuns {
-			if h.end <= next {
-				next = h.end
+		for i := range s.hwRuns {
+			if s.hwRuns[i].end <= next {
+				next = s.hwRuns[i].end
 				kind = 2
 			}
 		}
@@ -450,27 +561,27 @@ func (s *System) Advance(to int64) error {
 			// CPU released by ISR/poll bookkeeping; loop to dispatch.
 		case 1:
 			cur := s.current
-			s.current = nil
-			s.finishTask(cur.task, cur.reaction, cur.cost)
-			for _, em := range cur.reaction.Emitted {
-				if err := s.emitFromSW(cur.task, em.Signal, em.Value); err != nil {
-					return err
-				}
+			s.current.task = nil
+			s.finishTask(cur.task, cur.cost)
+			s.pushEmissions(cur.task, false)
+			if err := s.drainQueue(); err != nil {
+				return err
 			}
 			// Chained successor: run back to back without a
 			// scheduler decision (Section IV-A).
-			if next := s.chainNext[cur.task]; next != nil && next.Enabled() && s.current == nil {
-				r, d, err := s.beginTask(next)
+			if nxt := cur.task.chainNext; nxt != nil && nxt.Enabled() && s.current.task == nil {
+				d, err := s.beginTask(nxt)
 				if err != nil {
 					return err
 				}
 				s.BusyCycles += d
-				s.current = &running{task: next, reaction: r, end: s.Now + d, cost: d}
+				s.current = running{task: nxt, end: s.Now + d, cost: d}
 			}
 		case 2:
-			// Complete all hardware runs due now.
-			var done []*hwRun
-			var rest []*hwRun
+			// Complete all hardware runs due now, earliest deadline
+			// first (stable for equal deadlines, like the reference).
+			done := s.hwScratch[:0]
+			rest := s.hwRuns[:0]
 			for _, h := range s.hwRuns {
 				if h.end <= s.Now {
 					done = append(done, h)
@@ -479,15 +590,19 @@ func (s *System) Advance(to int64) error {
 				}
 			}
 			s.hwRuns = rest
-			sort.SliceStable(done, func(i, j int) bool { return done[i].end < done[j].end })
-			for _, h := range done {
-				s.finishTask(h.task, h.reaction, s.Cfg.HWDelay)
-				for _, em := range h.reaction.Emitted {
-					if err := s.emitFromHW(h.task, em.Signal, em.Value); err != nil {
-						return err
-					}
+			for i := 1; i < len(done); i++ {
+				for j := i; j > 0 && done[j].end < done[j-1].end; j-- {
+					done[j], done[j-1] = done[j-1], done[j]
 				}
 			}
+			for _, h := range done {
+				s.finishTask(h.task, s.Cfg.HWDelay)
+				s.pushEmissions(h.task, true)
+				if err := s.drainQueue(); err != nil {
+					return err
+				}
+			}
+			s.hwScratch = done[:0]
 			// Buffered events may re-enable them.
 			if err := s.startHW(); err != nil {
 				return err
@@ -496,21 +611,22 @@ func (s *System) Advance(to int64) error {
 			s.Polls++
 			s.nextPoll += s.Cfg.PollPeriod
 			s.stealCPU(s.Cfg.PollOverhead)
-			// Drain the port in network signal order: map iteration
-			// order would make merges (and thus traces) vary between
-			// identical runs.
-			for _, sig := range s.N.Signals {
-				if !s.pollPort[sig] {
+			// Drain the port in network signal order, so merges (and
+			// thus traces) are identical between runs.
+			for i, sig := range s.pollSigs {
+				if !s.pollPort[i] {
 					continue
 				}
-				val := s.pollValue[sig]
-				s.pollPort[sig] = false
-				for _, m := range s.N.Readers(sig) {
-					if t, ok := s.taskOf[m]; ok && s.delivery(sig) == Polling {
-						s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: "poll"})
-						if err := s.postToTask(t, sig, val, false, false); err != nil {
-							return err
-						}
+				val := s.pollValue[i]
+				s.pollPort[i] = false
+				rt := s.routes[sig]
+				for _, e := range rt.entries {
+					if e.hw {
+						continue
+					}
+					s.Trace = append(s.Trace, TraceEvent{Time: s.Now, Signal: sig, Value: val, From: "poll"})
+					if err := s.postToTask(e.t, e.slot, sig, val, false, false); err != nil {
+						return err
 					}
 				}
 			}
@@ -529,24 +645,6 @@ func (s *System) workPending() bool {
 		}
 	}
 	return false
-}
-
-// higherPendingNone reports whether no enabled task outranks the top
-// of the preemption stack (so resuming is correct).
-func (s *System) higherPendingNone() bool {
-	if len(s.stack) == 0 {
-		return false
-	}
-	top := s.stack[len(s.stack)-1]
-	if !s.Cfg.Preemptive {
-		return true
-	}
-	for _, t := range s.Tasks {
-		if t.Enabled() && t.Priority > top.task.Priority {
-			return false
-		}
-	}
-	return true
 }
 
 // Utilization returns the fraction of elapsed cycles the CPU was busy.

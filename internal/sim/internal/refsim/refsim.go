@@ -1,0 +1,244 @@
+package refsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"polis/internal/cfsm"
+	"polis/internal/codegen"
+	"polis/internal/estimate"
+	"polis/internal/rtos"
+	"polis/internal/sgraph"
+	"polis/internal/sim"
+	"polis/internal/vm"
+)
+
+// Result carries the outcome of a reference run. It mirrors sim.Result
+// but exposes the reference System type.
+type Result struct {
+	Trace  []rtos.TraceEvent
+	Cycles int64
+	System *System
+	// CodeBytes and DataBytes total the software partition.
+	CodeBytes int64
+	DataBytes int64
+}
+
+// vmTask wraps one assembled CFSM for exact co-simulation, exactly as
+// the pre-change sim package did: fresh map snapshots per reaction.
+type vmTask struct {
+	g       *sgraph.SGraph
+	prog    *vm.Program
+	machine *vm.Machine
+	sigs    codegen.SignalMap
+	byID    map[int]*cfsm.Signal
+
+	check  sim.CheckOptions
+	bounds vm.PathCycles
+	estMax int64
+
+	snap    cfsm.Snapshot
+	emitted []cfsm.Emission
+	cycles  int64
+}
+
+func (t *vmTask) Present(sig int) bool { return t.snap.Present[t.byID[sig]] }
+func (t *vmTask) Value(sig int) int64  { return t.snap.Values[t.byID[sig]] }
+func (t *vmTask) Emit(sig int) {
+	t.emitted = append(t.emitted, cfsm.Emission{Signal: t.byID[sig]})
+}
+func (t *vmTask) EmitValue(sig int, v int64) {
+	t.emitted = append(t.emitted, cfsm.Emission{Signal: t.byID[sig], Value: v})
+}
+
+func (t *vmTask) react(snap cfsm.Snapshot) (cfsm.Reaction, error) {
+	t.snap = snap
+	t.emitted = nil
+	for _, sv := range t.g.C.States {
+		t.machine.Mem[t.prog.Symbols["st_"+sv.Name]] = snap.State[sv]
+	}
+	cycles, err := t.machine.Run(t.prog, codegen.EntryLabel(t.g.C))
+	if err != nil {
+		return cfsm.Reaction{}, fmt.Errorf("vm reaction failed: %w", err)
+	}
+	t.cycles = cycles
+	next := make(map[*cfsm.StateVar]int64, len(snap.State))
+	for _, sv := range t.g.C.States {
+		next[sv] = t.machine.Mem[t.prog.Symbols["st_"+sv.Name]]
+	}
+	fired := t.g.Evaluate(snap).Fired
+	r := cfsm.Reaction{
+		Fired:     fired,
+		Emitted:   t.emitted,
+		NextState: next,
+	}
+	if t.check.VMAgainstReference {
+		if err := checkReference(t.g.C, snap, r); err != nil {
+			return cfsm.Reaction{}, err
+		}
+	}
+	if t.check.CycleBounds {
+		if err := t.checkCycles(cycles); err != nil {
+			return cfsm.Reaction{}, err
+		}
+	}
+	return r, nil
+}
+
+func checkReference(m *cfsm.CFSM, snap cfsm.Snapshot, got cfsm.Reaction) error {
+	want := m.React(snap)
+	if got.Fired != want.Fired {
+		return fmt.Errorf("vm/reference divergence: fired=%v, reference says %v", got.Fired, want.Fired)
+	}
+	if a, b := emissionKey(got.Emitted), emissionKey(want.Emitted); a != b {
+		return fmt.Errorf("vm/reference divergence: emitted %s, reference %s", a, b)
+	}
+	for _, sv := range m.States {
+		if got.NextState[sv] != want.NextState[sv] {
+			return fmt.Errorf("vm/reference divergence: state %s=%d, reference %d",
+				sv.Name, got.NextState[sv], want.NextState[sv])
+		}
+	}
+	return nil
+}
+
+func emissionKey(ems []cfsm.Emission) string {
+	keys := make([]string, len(ems))
+	for i, e := range ems {
+		keys[i] = e.Signal.Name + ":" + strconv.FormatInt(e.Value, 10)
+	}
+	sort.Strings(keys)
+	return "[" + strings.Join(keys, " ") + "]"
+}
+
+func (t *vmTask) checkCycles(cycles int64) error {
+	if cycles < t.bounds.Min || cycles > t.bounds.Max {
+		return fmt.Errorf("cycle bound violation: exact %d outside analyzer bounds [%d, %d]",
+			cycles, t.bounds.Min, t.bounds.Max)
+	}
+	slack := t.check.EstimateSlack
+	if slack == 0 {
+		slack = 0.25
+	}
+	if limit := int64(float64(t.estMax) * (1 + slack)); cycles > limit {
+		return fmt.Errorf("cycle bound violation: exact %d exceeds estimator worst case %d by more than %.0f%%",
+			cycles, t.estMax, slack*100)
+	}
+	return nil
+}
+
+// buildVMTask assembles a machine exactly as the pre-change
+// sim.BuildVMTask did.
+func buildVMTask(m *cfsm.CFSM, opt sim.Options) (*Task, int64, int64, error) {
+	r, err := cfsm.BuildReactive(m)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	g, err := sgraph.Build(r, opt.Ordering)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if opt.Reduce {
+		g.Reduce(sgraph.ReduceOptions{})
+	}
+	sigs := codegen.NewSignalMap(m)
+	prog, err := codegen.Assemble(g, sigs, opt.Codegen)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	vt := &vmTask{
+		g: g, prog: prog, sigs: sigs,
+		byID:  make(map[int]*cfsm.Signal),
+		check: opt.Check,
+	}
+	for s, id := range sigs {
+		vt.byID[id] = s
+	}
+	if opt.Check.CycleBounds {
+		vt.bounds, err = vm.AnalyzeCycles(opt.Profile, prog, codegen.EntryLabel(m))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		params, err := estimate.Calibrate(opt.Profile)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		vt.estMax = estimate.EstimateSGraph(g, params, estimate.Options{Codegen: opt.Codegen}).MaxCycles
+	}
+	vt.machine = vm.NewMachine(opt.Profile, prog.Words, vt)
+	codegen.InitStateMemory(g, prog, vt.machine)
+	task := NewTask(m, vt.react, func(cfsm.Snapshot) int64 { return vt.cycles })
+	code := int64(opt.Profile.CodeSize(prog))
+	data := int64(opt.Profile.DataSize(prog))
+	return task, code, data, nil
+}
+
+// Run simulates the network until the given cycle with the pre-change
+// engine, injecting the stimuli at their times. opt.Probe is ignored
+// (the reference engine carries no probe hooks); everything else is
+// honoured exactly as the pre-change sim.Run did.
+func Run(n *cfsm.Network, stimuli []sim.Stimulus, until int64, opt sim.Options) (*Result, error) {
+	if opt.Profile == nil {
+		opt.Profile = vm.HC11()
+	}
+	res := &Result{}
+	params, err := estimate.Calibrate(opt.Profile)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(m *cfsm.CFSM) (*Task, error) {
+		switch opt.Mode {
+		case sim.VMExact:
+			t, code, data, err := buildVMTask(m, opt)
+			if err != nil {
+				return nil, err
+			}
+			res.CodeBytes += code
+			res.DataBytes += data
+			return t, nil
+		default:
+			r, err := cfsm.BuildReactive(m)
+			if err != nil {
+				return nil, err
+			}
+			g, err := sgraph.Build(r, opt.Ordering)
+			if err != nil {
+				return nil, err
+			}
+			if opt.Reduce {
+				g.Reduce(sgraph.ReduceOptions{})
+			}
+			est := estimate.EstimateSGraph(g, params, estimate.Options{Codegen: opt.Codegen})
+			res.CodeBytes += est.CodeBytes
+			res.DataBytes += est.DataBytes
+			mm := m
+			return NewTask(mm, Infallible(mm.React),
+				func(cfsm.Snapshot) int64 { return est.MaxCycles }), nil
+		}
+	}
+	sys, err := NewSystem(n, opt.Cfg, mk)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(stimuli, func(i, j int) bool { return stimuli[i].Time < stimuli[j].Time })
+	for _, st := range stimuli {
+		if st.Time > until {
+			break
+		}
+		if err := sys.Advance(st.Time); err != nil {
+			return nil, err
+		}
+		if err := sys.EmitEnv(st.Signal, st.Value); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.Advance(until); err != nil {
+		return nil, err
+	}
+	res.Trace = sys.Trace
+	res.Cycles = sys.Now
+	res.System = sys
+	return res, nil
+}

@@ -1,0 +1,597 @@
+// Package refsim is the verbatim pre-change reference simulator: the
+// map-based, event-at-a-time co-simulation engine (rtos.Task,
+// rtos.System and sim.Run as they stood before the throughput rewrite)
+// frozen for lock-step differential testing. The rewritten engine in
+// internal/sim and internal/rtos must reproduce this implementation's
+// traces, final states, Lost/PollDropped accounting and cycle counts
+// exactly; any divergence is a bug in the rewrite, never in this copy.
+// Do not optimize or "fix" this package — its value is that it does
+// not change. (The only deliberate deviation: the Probe hooks are
+// stripped, since probes observe rather than alter semantics.)
+package refsim
+
+import (
+	"fmt"
+	"sort"
+
+	"polis/internal/cfsm"
+	"polis/internal/rtos"
+)
+
+// running is one in-flight software execution.
+type running struct {
+	task     *Task
+	reaction cfsm.Reaction
+	end      int64
+	cost     int64 // reaction cycles charged (without scheduler overhead)
+	inISR    bool
+}
+
+// hwRun is one in-flight hardware reaction.
+type hwRun struct {
+	task     *Task
+	reaction cfsm.Reaction
+	end      int64
+}
+
+// Task is the pre-change runtime record of one software CFSM: private
+// input flags and value buffers held in maps, the frozen snapshot
+// while it executes, and the events remembered for the next execution.
+type Task struct {
+	M        *cfsm.CFSM
+	Priority int
+
+	flags  map[*cfsm.Signal]bool
+	values map[*cfsm.Signal]int64
+
+	pendFlags  map[*cfsm.Signal]bool
+	pendValues map[*cfsm.Signal]int64
+
+	running   bool
+	enabled   bool
+	remaining int64
+
+	react func(snap cfsm.Snapshot) (cfsm.Reaction, error)
+	cost  func(snap cfsm.Snapshot) int64
+
+	mutant rtos.Mutant
+
+	state  map[*cfsm.StateVar]int64
+	frozen cfsm.Snapshot
+
+	// Stats
+	Executions int64
+	Fired      int64
+	Lost       int64
+}
+
+// Enabled reports whether the task must be scheduled.
+func (t *Task) Enabled() bool {
+	return t.enabled && !t.running
+}
+
+// post delivers an event to the task's buffers, honouring the freeze
+// window and counting one-place buffer overwrites.
+func (t *Task) post(s *cfsm.Signal, v int64) {
+	if t.running {
+		if t.pendFlags[s] && t.mutant != rtos.MutantLostUndercount {
+			t.Lost++
+		}
+		if t.pendFlags[s] && t.mutant == rtos.MutantStaleOverwrite {
+			return // flag already set; stale value kept
+		}
+		t.pendFlags[s] = true
+		t.pendValues[s] = v
+		return
+	}
+	if t.flags[s] {
+		if t.mutant != rtos.MutantLostUndercount {
+			t.Lost++
+		}
+		if t.mutant == rtos.MutantStaleOverwrite {
+			t.enabled = true
+			return // flag already set; stale value kept
+		}
+	}
+	t.flags[s] = true
+	t.values[s] = v
+	t.enabled = true
+}
+
+// begin freezes the input snapshot and marks the task running.
+func (t *Task) begin() cfsm.Snapshot {
+	snap := cfsm.Snapshot{
+		Present: make(map[*cfsm.Signal]bool, len(t.flags)),
+		Values:  make(map[*cfsm.Signal]int64, len(t.values)),
+		State:   t.state,
+	}
+	for s, p := range t.flags {
+		if p {
+			snap.Present[s] = true
+			snap.Values[s] = t.values[s]
+		}
+	}
+	t.running = true
+	t.enabled = false
+	t.frozen = snap
+	return snap
+}
+
+// finish completes an execution: consumed flags are cleared only when
+// a transition fired, pending events become visible, and the next
+// state is committed.
+func (t *Task) finish(r cfsm.Reaction) {
+	t.Executions++
+	if r.Fired {
+		t.Fired++
+		for s := range t.frozen.Present {
+			t.flags[s] = false
+		}
+		t.state = r.NextState
+	} else if t.mutant == rtos.MutantConsumeUnfired {
+		for s := range t.frozen.Present {
+			t.flags[s] = false
+		}
+	}
+	for s, p := range t.pendFlags {
+		if p {
+			if t.flags[s] && t.mutant != rtos.MutantLostUndercount {
+				t.Lost++
+			}
+			if t.flags[s] && t.mutant == rtos.MutantStaleOverwrite {
+				t.enabled = true
+			} else {
+				t.flags[s] = true
+				t.values[s] = t.pendValues[s]
+				t.enabled = true
+			}
+		}
+		delete(t.pendFlags, s)
+		delete(t.pendValues, s)
+	}
+	t.running = false
+}
+
+// Infallible adapts a pure reaction function to the error-returning
+// callback NewTask expects.
+func Infallible(f func(cfsm.Snapshot) cfsm.Reaction) func(cfsm.Snapshot) (cfsm.Reaction, error) {
+	return func(snap cfsm.Snapshot) (cfsm.Reaction, error) { return f(snap), nil }
+}
+
+// NewTask builds the runtime record for a software CFSM.
+func NewTask(m *cfsm.CFSM, react func(cfsm.Snapshot) (cfsm.Reaction, error),
+	cost func(cfsm.Snapshot) int64) *Task {
+	st := make(map[*cfsm.StateVar]int64, len(m.States))
+	for _, sv := range m.States {
+		st[sv] = sv.Init
+	}
+	return &Task{
+		M:          m,
+		flags:      make(map[*cfsm.Signal]bool),
+		values:     make(map[*cfsm.Signal]int64),
+		pendFlags:  make(map[*cfsm.Signal]bool),
+		pendValues: make(map[*cfsm.Signal]int64),
+		react:      react,
+		cost:       cost,
+		state:      st,
+	}
+}
+
+// State exposes the task's committed state.
+func (t *Task) State(sv *cfsm.StateVar) int64 { return t.state[sv] }
+
+// System is the pre-change executable cycle-level model of one
+// generated RTOS instance plus the CFSM network it serves.
+type System struct {
+	N   *cfsm.Network
+	Cfg rtos.Config
+
+	Tasks   []*Task
+	taskOf  map[*cfsm.CFSM]*Task
+	hwOf    map[*cfsm.CFSM]*Task
+	hwTasks []*Task
+	// chainNext maps a task to its chain successor.
+	chainNext map[*Task]*Task
+
+	Now   int64
+	Trace []rtos.TraceEvent
+
+	current *running
+	stack   []*running
+	hwRuns  []*hwRun
+	freeAt  int64
+
+	pollPort   map[*cfsm.Signal]bool
+	pollValue  map[*cfsm.Signal]int64
+	nextPoll   int64
+	hasPolling bool
+
+	rr int
+
+	// Stats
+	ScheduleCalls int64
+	Interrupts    int64
+	Polls         int64
+	BusyCycles    int64
+	PollDropped   int64
+	idleSince     int64
+}
+
+// NewSystem builds the runtime.
+func NewSystem(n *cfsm.Network, cfg rtos.Config,
+	makeTask func(m *cfsm.CFSM) (*Task, error)) (*System, error) {
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	s := &System{
+		N:         n,
+		Cfg:       cfg,
+		taskOf:    make(map[*cfsm.CFSM]*Task),
+		hwOf:      make(map[*cfsm.CFSM]*Task),
+		pollPort:  make(map[*cfsm.Signal]bool),
+		pollValue: make(map[*cfsm.Signal]int64),
+	}
+	for _, m := range n.Machines {
+		if cfg.HW[m] {
+			mm := m
+			t := NewTask(m, Infallible(mm.React), func(cfsm.Snapshot) int64 { return cfg.HWDelay })
+			t.mutant = cfg.Mutant
+			s.hwOf[m] = t
+			s.hwTasks = append(s.hwTasks, t)
+			continue
+		}
+		t, err := makeTask(m)
+		if err != nil {
+			return nil, err
+		}
+		t.Priority = cfg.Priority[m]
+		t.mutant = cfg.Mutant
+		s.taskOf[m] = t
+		s.Tasks = append(s.Tasks, t)
+	}
+	for sig, d := range cfg.Deliver {
+		if d == rtos.Polling {
+			_ = sig
+			s.hasPolling = true
+		}
+	}
+	s.chainNext = make(map[*Task]*Task)
+	for _, chain := range cfg.Chains {
+		for i := 0; i+1 < len(chain); i++ {
+			a := s.taskOf[chain[i]]
+			b := s.taskOf[chain[i+1]]
+			if a != nil && b != nil {
+				s.chainNext[a] = b
+			}
+		}
+	}
+	s.nextPoll = cfg.PollPeriod
+	return s, nil
+}
+
+// TaskFor returns the runtime task of a software machine.
+func (s *System) TaskFor(m *cfsm.CFSM) *Task { return s.taskOf[m] }
+
+func (s *System) delivery(sig *cfsm.Signal) rtos.Delivery {
+	if d, ok := s.Cfg.Deliver[sig]; ok {
+		return d
+	}
+	return rtos.Interrupt
+}
+
+// EmitEnv injects an environment event at the current time.
+func (s *System) EmitEnv(sig *cfsm.Signal, val int64) error {
+	s.Trace = append(s.Trace, rtos.TraceEvent{Time: s.Now, Signal: sig, Value: val, From: "env"})
+	return s.routeFromHardware(sig, val, true)
+}
+
+func (s *System) routeFromHardware(sig *cfsm.Signal, val int64, env bool) error {
+	interrupted := false
+	for _, m := range s.N.Readers(sig) {
+		if hw, ok := s.hwOf[m]; ok {
+			hw.post(sig, val)
+			if err := s.startHW(); err != nil {
+				return err
+			}
+			continue
+		}
+		switch s.delivery(sig) {
+		case rtos.Polling:
+			if s.pollPort[sig] {
+				// One-place port: the undelivered event is lost.
+				s.PollDropped++
+			}
+			s.pollPort[sig] = true
+			s.pollValue[sig] = val
+		case rtos.Interrupt:
+			if !interrupted {
+				interrupted = true
+				s.Interrupts++
+				s.stealCPU(s.Cfg.ISROverhead)
+			}
+			if err := s.postToTask(s.taskOf[m], sig, val, s.Cfg.InISR[sig], env); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) emitFromSW(from *Task, sig *cfsm.Signal, val int64) error {
+	s.Trace = append(s.Trace, rtos.TraceEvent{Time: s.Now, Signal: sig, Value: val, From: from.M.Name})
+	readers := s.N.Readers(sig)
+	extra := len(readers) - 1
+	if extra > 0 {
+		s.stealCPU(int64(extra) * s.Cfg.EmitOverhead)
+	}
+	for _, m := range readers {
+		if hw, ok := s.hwOf[m]; ok {
+			hw.post(sig, val)
+			if err := s.startHW(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.postToTask(s.taskOf[m], sig, val, false, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *System) emitFromHW(from *Task, sig *cfsm.Signal, val int64) error {
+	s.Trace = append(s.Trace, rtos.TraceEvent{Time: s.Now, Signal: sig, Value: val, From: from.M.Name})
+	return s.routeFromHardware(sig, val, false)
+}
+
+func taskError(t *Task, err error) error {
+	return fmt.Errorf("rtos: task %s: %w", t.M.Name, err)
+}
+
+func (s *System) beginTask(t *Task) (cfsm.Reaction, int64, error) {
+	snap := t.begin()
+	r, err := t.react(snap)
+	if err != nil {
+		return cfsm.Reaction{}, 0, taskError(t, err)
+	}
+	return r, t.cost(snap), nil
+}
+
+func (s *System) finishTask(t *Task, r cfsm.Reaction, cycles int64) {
+	t.finish(r)
+}
+
+func (s *System) postToTask(t *Task, sig *cfsm.Signal, val int64, inISR, env bool) error {
+	if t == nil {
+		return nil
+	}
+	t.post(sig, val)
+	if inISR && !t.running {
+		r, d, err := s.beginTask(t)
+		if err != nil {
+			return err
+		}
+		s.preemptCurrent()
+		s.current = &running{task: t, reaction: r, end: s.Now + d, cost: d, inISR: true}
+		return nil
+	}
+	if s.Cfg.Preemptive && s.current != nil && !s.current.inISR &&
+		t.Priority > s.current.task.Priority && t.Enabled() {
+		s.preemptCurrent()
+	}
+	return nil
+}
+
+func (s *System) preemptCurrent() {
+	if s.current == nil {
+		return
+	}
+	cur := s.current
+	cur.end -= s.Now
+	s.stack = append(s.stack, cur)
+	s.current = nil
+}
+
+func (s *System) stealCPU(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	s.BusyCycles += cycles
+	if s.current != nil {
+		s.current.end += cycles
+		return
+	}
+	if s.freeAt < s.Now {
+		s.freeAt = s.Now
+	}
+	s.freeAt += cycles
+}
+
+func (s *System) startHW() error {
+	for _, hw := range s.hwTasks {
+		if !hw.running && hw.Enabled() {
+			r, _, err := s.beginTask(hw)
+			if err != nil {
+				return err
+			}
+			s.hwRuns = append(s.hwRuns, &hwRun{task: hw, reaction: r, end: s.Now + s.Cfg.HWDelay})
+		}
+	}
+	return nil
+}
+
+func (s *System) pickTask() *Task {
+	n := len(s.Tasks)
+	if n == 0 {
+		return nil
+	}
+	switch s.Cfg.Policy {
+	case rtos.RoundRobin:
+		for i := 0; i < n; i++ {
+			t := s.Tasks[(s.rr+i)%n]
+			if t.Enabled() {
+				s.rr = (s.rr + i + 1) % n
+				return t
+			}
+		}
+	case rtos.StaticPriority:
+		var best *Task
+		for _, t := range s.Tasks {
+			if !t.Enabled() {
+				continue
+			}
+			if best == nil || t.Priority > best.Priority {
+				best = t
+			}
+		}
+		return best
+	}
+	return nil
+}
+
+func (s *System) resume() {
+	if len(s.stack) == 0 {
+		return
+	}
+	cur := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	cur.end += s.Now
+	s.current = cur
+}
+
+// Advance runs the system until the given absolute time (in cycles).
+func (s *System) Advance(to int64) error {
+	if to < s.Now {
+		return fmt.Errorf("rtos: time going backwards (%d < %d)", to, s.Now)
+	}
+	for {
+		if s.current == nil && s.Now >= s.freeAt {
+			cand := s.pickTask()
+			if len(s.stack) > 0 {
+				top := s.stack[len(s.stack)-1]
+				if cand == nil || !s.Cfg.Preemptive || cand.Priority <= top.task.Priority {
+					s.resume()
+					cand = nil
+				}
+			}
+			if cand != nil {
+				s.ScheduleCalls++
+				r, d, err := s.beginTask(cand)
+				if err != nil {
+					return err
+				}
+				s.BusyCycles += s.Cfg.ScheduleOverhead + d
+				s.current = &running{task: cand, reaction: r, end: s.Now + s.Cfg.ScheduleOverhead + d, cost: d}
+			}
+		}
+
+		next := to
+		kind := 0 // 0 none, 1 task done, 2 hw done, 3 poll, 4 cpu free
+		if s.current != nil && s.current.end <= next {
+			next = s.current.end
+			kind = 1
+		}
+		if s.current == nil && s.freeAt > s.Now && s.workPending() && s.freeAt <= next {
+			next = s.freeAt
+			kind = 4
+		}
+		for _, h := range s.hwRuns {
+			if h.end <= next {
+				next = h.end
+				kind = 2
+			}
+		}
+		if s.hasPolling && s.nextPoll <= next {
+			next = s.nextPoll
+			kind = 3
+		}
+		if kind == 0 {
+			s.Now = to
+			return nil
+		}
+		s.Now = next
+		switch kind {
+		case 4:
+			// CPU released by ISR/poll bookkeeping; loop to dispatch.
+		case 1:
+			cur := s.current
+			s.current = nil
+			s.finishTask(cur.task, cur.reaction, cur.cost)
+			for _, em := range cur.reaction.Emitted {
+				if err := s.emitFromSW(cur.task, em.Signal, em.Value); err != nil {
+					return err
+				}
+			}
+			if next := s.chainNext[cur.task]; next != nil && next.Enabled() && s.current == nil {
+				r, d, err := s.beginTask(next)
+				if err != nil {
+					return err
+				}
+				s.BusyCycles += d
+				s.current = &running{task: next, reaction: r, end: s.Now + d, cost: d}
+			}
+		case 2:
+			var done []*hwRun
+			var rest []*hwRun
+			for _, h := range s.hwRuns {
+				if h.end <= s.Now {
+					done = append(done, h)
+				} else {
+					rest = append(rest, h)
+				}
+			}
+			s.hwRuns = rest
+			sort.SliceStable(done, func(i, j int) bool { return done[i].end < done[j].end })
+			for _, h := range done {
+				s.finishTask(h.task, h.reaction, s.Cfg.HWDelay)
+				for _, em := range h.reaction.Emitted {
+					if err := s.emitFromHW(h.task, em.Signal, em.Value); err != nil {
+						return err
+					}
+				}
+			}
+			if err := s.startHW(); err != nil {
+				return err
+			}
+		case 3:
+			s.Polls++
+			s.nextPoll += s.Cfg.PollPeriod
+			s.stealCPU(s.Cfg.PollOverhead)
+			for _, sig := range s.N.Signals {
+				if !s.pollPort[sig] {
+					continue
+				}
+				val := s.pollValue[sig]
+				s.pollPort[sig] = false
+				for _, m := range s.N.Readers(sig) {
+					if t, ok := s.taskOf[m]; ok && s.delivery(sig) == rtos.Polling {
+						s.Trace = append(s.Trace, rtos.TraceEvent{Time: s.Now, Signal: sig, Value: val, From: "poll"})
+						if err := s.postToTask(t, sig, val, false, false); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (s *System) workPending() bool {
+	if len(s.stack) > 0 {
+		return true
+	}
+	for _, t := range s.Tasks {
+		if t.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// Utilization returns the fraction of elapsed cycles the CPU was busy.
+func (s *System) Utilization() float64 {
+	if s.Now == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.Now)
+}

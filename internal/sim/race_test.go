@@ -1,0 +1,8 @@
+//go:build race
+
+package sim_test
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; its memory-access interception skews relative timings, so the
+// throughput gate skips itself.
+const raceEnabled = true

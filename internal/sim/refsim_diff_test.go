@@ -1,0 +1,234 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"polis/internal/cfsm"
+	"polis/internal/randcfsm"
+	"polis/internal/rtos"
+	"polis/internal/sim"
+	"polis/internal/sim/internal/refsim"
+)
+
+// These tests pin the throughput-oriented engine (dense buffers,
+// batched emission queue) to the frozen pre-change engine in
+// internal/refsim: for randomized networks, RTOS configurations and
+// stimulus timelines — including same-cycle bursts that stress the
+// batch queue — the two must produce identical traces, cycle counts,
+// accounting and final states, event for event.
+
+// scenario is one randomized differential case.
+type scenario struct {
+	net     *cfsm.Network
+	cfg     rtos.Config
+	stimuli []sim.Stimulus
+	horizon int64
+}
+
+// genScenario derives a deterministic scenario from a seed, covering
+// the same knob space as the netfuzz harness: topologies, scheduling
+// policies, preemption, a hardware partition, task chains, polling,
+// InISR delivery and buffer-semantics mutants (a mutant must be wrong
+// identically in both engines).
+func genScenario(seed int64) (*scenario, error) {
+	r := rand.New(rand.NewSource(seed))
+	topos := []randcfsm.Topology{
+		randcfsm.TopoIndependent, randcfsm.TopoChain,
+		randcfsm.TopoChain, randcfsm.TopoDAG,
+	}
+	net, _, err := randcfsm.NewTopologyNetwork(r, 2+r.Intn(4), randcfsm.DefaultConfig(), topos[r.Intn(len(topos))])
+	if err != nil {
+		return nil, err
+	}
+	rc := rtos.DefaultConfig()
+	if r.Intn(2) == 0 {
+		rc.Policy = rtos.StaticPriority
+		for _, m := range net.Machines {
+			rc.Priority[m] = r.Intn(len(net.Machines))
+		}
+		if r.Intn(3) == 0 {
+			rc.Preemptive = true
+		}
+	}
+	hwIdx := -1
+	if r.Intn(3) == 0 && len(net.Machines) > 1 {
+		hwIdx = r.Intn(len(net.Machines))
+		rc.HW[net.Machines[hwIdx]] = true
+	}
+	if r.Intn(3) == 0 {
+		var sw []*cfsm.CFSM
+		for i, m := range net.Machines {
+			if i != hwIdx {
+				sw = append(sw, m)
+			}
+		}
+		if len(sw) >= 2 {
+			rc.Chains = [][]*cfsm.CFSM{{sw[0], sw[1]}}
+		}
+	}
+	if r.Intn(2) == 0 {
+		for _, s := range net.Signals {
+			if len(net.Readers(s)) == 0 {
+				continue
+			}
+			fromEnv := len(net.Writers(s)) == 0
+			fromHW := false
+			if hwIdx >= 0 {
+				for _, w := range net.Writers(s) {
+					if w == net.Machines[hwIdx] {
+						fromHW = true
+					}
+				}
+			}
+			if (fromEnv || fromHW) && r.Intn(2) == 0 {
+				rc.Deliver[s] = rtos.Polling
+			}
+		}
+	}
+	for _, s := range net.PrimaryInputs() {
+		if rc.Deliver[s] == rtos.Polling {
+			continue
+		}
+		if r.Intn(4) == 0 {
+			rc.InISR[s] = true
+		}
+	}
+	mutants := []rtos.Mutant{
+		rtos.MutantNone, rtos.MutantNone, rtos.MutantNone,
+		rtos.MutantLostUndercount, rtos.MutantStaleOverwrite, rtos.MutantConsumeUnfired,
+	}
+	rc.Mutant = mutants[r.Intn(len(mutants))]
+
+	prim := net.PrimaryInputs()
+	vr := randcfsm.DefaultConfig().ValueRange
+	count := 4 + r.Intn(16)
+	// Alternate dense and sparse spacing so some stimuli land on a busy
+	// system (contention, freeze-window posts) and some on a quiescent
+	// one.
+	gap := int64(40 + r.Intn(400))
+	if r.Intn(2) == 0 {
+		gap = int64(20_000 + r.Intn(60_000))
+	}
+	var st []sim.Stimulus
+	tnow := gap
+	for i := 0; i < count; i++ {
+		s := prim[r.Intn(len(prim))]
+		var v int64
+		if !s.Pure {
+			v = r.Int63n(vr)
+		}
+		st = append(st, sim.Stimulus{Time: tnow, Signal: s, Value: v})
+		// Same-cycle and next-cycle duplicates stress the batched
+		// delivery path with back-to-back one-place-buffer overwrites.
+		if r.Intn(3) == 0 {
+			st = append(st, sim.Stimulus{Time: tnow, Signal: s, Value: v + 1})
+		}
+		if r.Intn(4) == 0 {
+			st = append(st, sim.Stimulus{Time: tnow + 1, Signal: s, Value: v + 2})
+		}
+		tnow += gap
+	}
+	return &scenario{net: net, cfg: rc, stimuli: st, horizon: tnow + 30_000}, nil
+}
+
+// compareRuns requires bit-identical observable outcomes from the two
+// engines.
+func compareRuns(t *testing.T, label string, got *sim.Result, want *refsim.Result) {
+	t.Helper()
+	if got.Cycles != want.Cycles {
+		t.Errorf("%s: cycles %d, reference %d", label, got.Cycles, want.Cycles)
+	}
+	if got.CodeBytes != want.CodeBytes || got.DataBytes != want.DataBytes {
+		t.Errorf("%s: footprint %d/%d, reference %d/%d",
+			label, got.CodeBytes, got.DataBytes, want.CodeBytes, want.DataBytes)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Errorf("%s: %d trace events, reference %d", label, len(got.Trace), len(want.Trace))
+	} else {
+		for i := range got.Trace {
+			a, b := got.Trace[i], want.Trace[i]
+			if a.Time != b.Time || a.Signal != b.Signal || a.Value != b.Value || a.From != b.From {
+				t.Errorf("%s: trace[%d] = {%d %s %d %s}, reference {%d %s %d %s}",
+					label, i, a.Time, a.Signal.Name, a.Value, a.From,
+					b.Time, b.Signal.Name, b.Value, b.From)
+				break
+			}
+		}
+	}
+	gs, ws := got.System, want.System
+	if gs.ScheduleCalls != ws.ScheduleCalls || gs.Interrupts != ws.Interrupts ||
+		gs.Polls != ws.Polls || gs.BusyCycles != ws.BusyCycles || gs.PollDropped != ws.PollDropped {
+		t.Errorf("%s: stats sched/irq/polls/busy/dropped %d/%d/%d/%d/%d, reference %d/%d/%d/%d/%d",
+			label, gs.ScheduleCalls, gs.Interrupts, gs.Polls, gs.BusyCycles, gs.PollDropped,
+			ws.ScheduleCalls, ws.Interrupts, ws.Polls, ws.BusyCycles, ws.PollDropped)
+	}
+	if len(gs.Tasks) != len(ws.Tasks) {
+		t.Fatalf("%s: %d tasks, reference %d", label, len(gs.Tasks), len(ws.Tasks))
+	}
+	for i := range gs.Tasks {
+		ta, tb := gs.Tasks[i], ws.Tasks[i]
+		if ta.M != tb.M {
+			t.Fatalf("%s: task %d is %s, reference %s", label, i, ta.M.Name, tb.M.Name)
+		}
+		if ta.Executions != tb.Executions || ta.Fired != tb.Fired || ta.Lost != tb.Lost {
+			t.Errorf("%s: task %s exec/fired/lost %d/%d/%d, reference %d/%d/%d",
+				label, ta.M.Name, ta.Executions, ta.Fired, ta.Lost,
+				tb.Executions, tb.Fired, tb.Lost)
+		}
+		for _, sv := range ta.M.States {
+			if ta.State(sv) != tb.State(sv) {
+				t.Errorf("%s: task %s state %s=%d, reference %d",
+					label, ta.M.Name, sv.Name, ta.State(sv), tb.State(sv))
+			}
+		}
+	}
+}
+
+func runDiff(t *testing.T, seed int64, mode sim.Mode, check bool) {
+	t.Helper()
+	sc, err := genScenario(seed)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	opt := sim.Options{Cfg: sc.cfg, Mode: mode}
+	if check {
+		opt.Check = sim.CheckOptions{VMAgainstReference: true, CycleBounds: true}
+	}
+	label := fmt.Sprintf("seed %d mode %d", seed, mode)
+	// Both engines sort the stimulus slice in place; give each a copy.
+	got, gerr := sim.Run(sc.net, append([]sim.Stimulus(nil), sc.stimuli...), sc.horizon, opt)
+	want, werr := refsim.Run(sc.net, append([]sim.Stimulus(nil), sc.stimuli...), sc.horizon, opt)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: engine error %v, reference error %v", label, gerr, werr)
+	}
+	if gerr != nil {
+		if gerr.Error() != werr.Error() {
+			t.Fatalf("%s: engine error %q, reference error %q", label, gerr, werr)
+		}
+		return
+	}
+	compareRuns(t, label, got, want)
+}
+
+func TestEngineMatchesReferenceBehavioral(t *testing.T) {
+	for seed := int64(1); seed <= 120; seed++ {
+		runDiff(t, seed, sim.Behavioral, false)
+	}
+}
+
+func TestEngineMatchesReferenceVM(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		runDiff(t, seed, sim.VMExact, false)
+	}
+}
+
+// TestEngineMatchesReferenceVMChecked runs the VM differential with the
+// per-reaction cross-checks enabled, so the dense engine's snapshot
+// materialisation path is exercised too.
+func TestEngineMatchesReferenceVMChecked(t *testing.T) {
+	for seed := int64(200); seed <= 215; seed++ {
+		runDiff(t, seed, sim.VMExact, true)
+	}
+}

@@ -6,9 +6,16 @@
 // supports latency and throughput measurements with realistic inputs
 // — including seldom-executed paths and the scheduling policy, as
 // Section III-C1 describes for dynamic performance calculation.
+//
+// The execution core is throughput-oriented: reactions run over dense
+// slot-indexed buffers resolved once at task-build time and allocate
+// nothing in steady state. The previous map-based, event-at-a-time
+// engine is frozen verbatim in internal/refsim, and differential tests
+// pin this engine to it trace-for-trace.
 package sim
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -78,49 +85,97 @@ type Options struct {
 	// interpreter.
 	Reduce bool
 	// Probe, when non-nil, observes every delivery and execution in
-	// the underlying RTOS model (see rtos.Probe).
+	// the underlying RTOS model (see rtos.Probe). With Partition it
+	// observes all islands and forces them to run serially, since a
+	// probe implementation need not be safe for concurrent use.
 	Probe rtos.Probe
 	// Check enables per-reaction differential checks.
 	Check CheckOptions
+	// Partition splits the network into clock-independent GALS
+	// islands (connected components over shared signals and task
+	// chains) and simulates each on its own RTOS instance — i.e. its
+	// own CPU, so with more than one island the timing model differs
+	// from a single shared processor. Islands run concurrently on up
+	// to Workers goroutines; the merged trace is deterministic and
+	// identical to a serial island-by-island run.
+	Partition bool
+	// Workers bounds island concurrency under Partition; 0 means
+	// GOMAXPROCS. With one worker the runner degrades to a strictly
+	// serial loop with no goroutines.
+	Workers int
 }
 
 // Result carries the outcome of a run.
 type Result struct {
 	Trace  []rtos.TraceEvent
 	Cycles int64
+	// System is the RTOS instance of a single-system run. Partitioned
+	// runs with more than one island leave it nil and fill Systems.
 	System *rtos.System
+	// Systems holds the per-island RTOS instances of a partitioned
+	// run, in island order; single-system runs leave it nil.
+	Systems []*rtos.System
 	// CodeBytes and DataBytes total the software partition (tasks
 	// only; add the RTOS size model for full ROM/RAM).
 	CodeBytes int64
 	DataBytes int64
 }
 
-// vmTask wraps one assembled CFSM for exact co-simulation.
+// vmTask wraps one assembled CFSM for exact co-simulation. All
+// per-reaction traffic runs over dense slot indices resolved once at
+// build time; the Host callbacks and react itself allocate nothing.
 type vmTask struct {
 	g       *sgraph.SGraph
 	prog    *vm.Program
 	machine *vm.Machine
 	sigs    codegen.SignalMap
-	byID    map[int]*cfsm.Signal
+	lay     *cfsm.Layout
+	entry   string
+
+	// sigOf maps a codegen signal id back to its signal (for
+	// emissions); inSlot maps it to the machine's input slot, -1 for
+	// pure outputs. stateAddr maps each state slot to the memory
+	// address of its "st_" symbol; a missing symbol resolves to
+	// address 0, preserving the reference engine's behaviour of
+	// reading/writing Mem[0] for untracked variables.
+	sigOf     []*cfsm.Signal
+	inSlot    []int
+	stateAddr []int
 
 	// differential-check state (populated when checks are enabled)
 	check  CheckOptions
 	bounds vm.PathCycles
 	estMax int64
 
-	// per-reaction capture
-	snap    cfsm.Snapshot
-	emitted []cfsm.Emission
-	cycles  int64
+	// per-reaction capture: the frozen snapshot and the reaction
+	// buffer currently bound by react, read by the Host callbacks.
+	snap   *cfsm.DenseSnapshot
+	out    *cfsm.DenseReaction
+	cycles int64
 }
 
-func (t *vmTask) Present(sig int) bool { return t.snap.Present[t.byID[sig]] }
-func (t *vmTask) Value(sig int) int64  { return t.snap.Values[t.byID[sig]] }
-func (t *vmTask) Emit(sig int) {
-	t.emitted = append(t.emitted, cfsm.Emission{Signal: t.byID[sig]})
+func (t *vmTask) Present(sig int) bool {
+	slot := t.inSlot[sig]
+	return slot >= 0 && t.snap.Present[slot]
 }
+
+// Value reads a signal's buffered value; absent signals read as zero
+// (the dense snapshot zeroes absent slots, and non-input ids map to
+// slot -1).
+func (t *vmTask) Value(sig int) int64 {
+	slot := t.inSlot[sig]
+	if slot < 0 {
+		return 0
+	}
+	return t.snap.Values[slot]
+}
+
+func (t *vmTask) Emit(sig int) {
+	t.out.Emitted = append(t.out.Emitted, cfsm.Emission{Signal: t.sigOf[sig]})
+}
+
 func (t *vmTask) EmitValue(sig int, v int64) {
-	t.emitted = append(t.emitted, cfsm.Emission{Signal: t.byID[sig], Value: v})
+	t.out.Emitted = append(t.out.Emitted, cfsm.Emission{Signal: t.sigOf[sig], Value: v})
 }
 
 // react executes one reaction on the VM and records its exact cost. A
@@ -128,41 +183,37 @@ func (t *vmTask) EmitValue(sig int, v int64) {
 // returned as an error — the RTOS aborts the run with the task name
 // attached — rather than panicking the whole process, so adversarial
 // networks are a diagnosable failure.
-func (t *vmTask) react(snap cfsm.Snapshot) (cfsm.Reaction, error) {
-	t.snap = snap
-	t.emitted = nil
-	for _, sv := range t.g.C.States {
-		t.machine.Mem[t.prog.Symbols["st_"+sv.Name]] = snap.State[sv]
+func (t *vmTask) react(snap *cfsm.DenseSnapshot, out *cfsm.DenseReaction) error {
+	t.snap, t.out = snap, out
+	out.Fired = false
+	out.Emitted = out.Emitted[:0]
+	for i, addr := range t.stateAddr {
+		t.machine.Mem[addr] = snap.State[i]
 	}
-	cycles, err := t.machine.Run(t.prog, codegen.EntryLabel(t.g.C))
+	cycles, err := t.machine.Run(t.prog, t.entry)
 	if err != nil {
-		return cfsm.Reaction{}, fmt.Errorf("vm reaction failed: %w", err)
+		return fmt.Errorf("vm reaction failed: %w", err)
 	}
 	t.cycles = cycles
-	next := make(map[*cfsm.StateVar]int64, len(snap.State))
-	for _, sv := range t.g.C.States {
-		next[sv] = t.machine.Mem[t.prog.Symbols["st_"+sv.Name]]
+	out.NextState = out.NextState[:0]
+	for _, addr := range t.stateAddr {
+		out.NextState = append(out.NextState, t.machine.Mem[addr])
 	}
 	// Whether any ASSIGN vertex executed decides event consumption
 	// (Section IV-D); the s-graph interpreter is the authority, since
 	// the object code has no out-of-band "fired" channel.
-	fired := t.g.Evaluate(snap).Fired
-	r := cfsm.Reaction{
-		Fired:     fired,
-		Emitted:   t.emitted,
-		NextState: next,
-	}
+	out.Fired = t.g.EvaluateFired(snap)
 	if t.check.VMAgainstReference {
-		if err := checkReference(t.g.C, snap, r); err != nil {
-			return cfsm.Reaction{}, err
+		if err := checkReference(t.g.C, snap.Snapshot(), out.Reaction(t.lay)); err != nil {
+			return err
 		}
 	}
 	if t.check.CycleBounds {
 		if err := t.checkCycles(cycles); err != nil {
-			return cfsm.Reaction{}, err
+			return err
 		}
 	}
-	return r, nil
+	return nil
 }
 
 // checkReference compares a VM reaction against the reference
@@ -233,13 +284,30 @@ func BuildVMTask(m *cfsm.CFSM, opt Options) (*rtos.Task, int64, int64, error) {
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	lay := cfsm.NewLayout(m)
 	vt := &vmTask{
-		g: g, prog: prog, sigs: sigs,
-		byID:  make(map[int]*cfsm.Signal),
+		g: g, prog: prog, sigs: sigs, lay: lay,
+		entry: codegen.EntryLabel(m),
 		check: opt.Check,
 	}
+	maxID := -1
+	for _, id := range sigs {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	vt.sigOf = make([]*cfsm.Signal, maxID+1)
+	vt.inSlot = make([]int, maxID+1)
+	for i := range vt.inSlot {
+		vt.inSlot[i] = -1
+	}
 	for s, id := range sigs {
-		vt.byID[id] = s
+		vt.sigOf[id] = s
+		vt.inSlot[id] = lay.InSlot(s)
+	}
+	vt.stateAddr = make([]int, len(lay.States))
+	for i, sv := range lay.States {
+		vt.stateAddr[i] = prog.Symbols["st_"+sv.Name]
 	}
 	if opt.Check.CycleBounds {
 		vt.bounds, err = vm.AnalyzeCycles(opt.Profile, prog, codegen.EntryLabel(m))
@@ -254,7 +322,7 @@ func BuildVMTask(m *cfsm.CFSM, opt Options) (*rtos.Task, int64, int64, error) {
 	}
 	vt.machine = vm.NewMachine(opt.Profile, prog.Words, vt)
 	codegen.InitStateMemory(g, prog, vt.machine)
-	task := rtos.NewTask(m, vt.react, func(cfsm.Snapshot) int64 { return vt.cycles })
+	task := rtos.NewDenseTask(m, lay, vt.react, func() int64 { return vt.cycles })
 	code := int64(opt.Profile.CodeSize(prog))
 	data := int64(opt.Profile.DataSize(prog))
 	return task, code, data, nil
@@ -263,9 +331,24 @@ func BuildVMTask(m *cfsm.CFSM, opt Options) (*rtos.Task, int64, int64, error) {
 // Run simulates the network until the given cycle, injecting the
 // stimuli at their times.
 func Run(n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result, error) {
+	return RunContext(context.Background(), n, stimuli, until, opt)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// stimuli and periodically inside the RTOS event loop, so a runaway or
+// long simulation stops promptly with the context's error.
+func RunContext(ctx context.Context, n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result, error) {
 	if opt.Profile == nil {
 		opt.Profile = vm.HC11()
 	}
+	if opt.Partition {
+		return runPartitioned(ctx, n, stimuli, until, opt)
+	}
+	return runSingle(ctx, n, stimuli, until, opt)
+}
+
+// runSingle simulates a network on one RTOS instance.
+func runSingle(ctx context.Context, n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result, error) {
 	res := &Result{}
 	params, err := estimate.Calibrate(opt.Profile)
 	if err != nil {
@@ -296,9 +379,7 @@ func Run(n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result
 			est := estimate.EstimateSGraph(g, params, estimate.Options{Codegen: opt.Codegen})
 			res.CodeBytes += est.CodeBytes
 			res.DataBytes += est.DataBytes
-			mm := m
-			return rtos.NewTask(mm, rtos.Infallible(mm.React),
-				func(cfsm.Snapshot) int64 { return est.MaxCycles }), nil
+			return rtos.NewBehavioralTask(m, func() int64 { return est.MaxCycles }), nil
 		}
 	}
 	sys, err := rtos.NewSystem(n, opt.Cfg, mk)
@@ -306,10 +387,14 @@ func Run(n *cfsm.Network, stimuli []Stimulus, until int64, opt Options) (*Result
 		return nil, err
 	}
 	sys.Probe = opt.Probe
+	sys.Ctx = ctx
 	sort.SliceStable(stimuli, func(i, j int) bool { return stimuli[i].Time < stimuli[j].Time })
 	for _, st := range stimuli {
 		if st.Time > until {
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		if err := sys.Advance(st.Time); err != nil {
 			return nil, err

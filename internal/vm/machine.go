@@ -180,5 +180,5 @@ func (m *Machine) Run(prog *Program, label string) (int64, error) {
 
 // aluEval mirrors expr.Bin.Eval's semantics, including safe division.
 func aluEval(op expr.Op, a, b int64) int64 {
-	return expr.NewBin(op, expr.Const(a), expr.Const(b)).Eval(nil)
+	return expr.EvalOp(op, a, b)
 }
