@@ -43,7 +43,7 @@ run_benches() {
         go test -run '^$' -bench . -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} ./internal/bdd/
         ;;
     sim)
-        go test -run '^$' -bench 'BenchmarkSimThroughput' \
+        go test -run '^$' -bench 'BenchmarkSimThroughput|BenchmarkSimSpecialization' \
             -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} ./internal/sim/
         ;;
     esac

@@ -4,8 +4,11 @@
 # ownership checks enabled under the bdddebug build tag, a bounded
 # co-simulation fuzz smoke (fixed seeds, so failures are replayable
 # with the printed `polisc fuzz -seed ... -config ...` line) run both
-# with and without the s-graph reduction engine and with same-cycle
-# stimulus storms against the batched delivery queue, a polisd service
+# with and without the s-graph reduction engine, with same-cycle
+# stimulus storms against the batched delivery queue, and with
+# profile-guided specialization (every run captures a behavioral
+# profile and re-checks the hot-path-reordered object code against the
+# reference interpreter), a polisd service
 # end-to-end smoke under the race detector (ephemeral port, warm-cache
 # second pass, /stats, SIGTERM drain), and a single-iteration
 # benchmark smoke so the harness can't bit-rot.
@@ -19,6 +22,7 @@ go test -tags bdddebug ./internal/bdd/
 NETFUZZ_RUNS=800 go test -race -run TestFuzzCampaignRandom ./internal/netfuzz/
 NETFUZZ_REDUCE_RUNS=200 go test -race -run TestFuzzCampaignReduce ./internal/netfuzz/
 NETFUZZ_STORM_RUNS=200 go test -race -run TestFuzzCampaignStorm ./internal/netfuzz/
+NETFUZZ_SPEC_RUNS=200 go test -race -run TestFuzzCampaignSpecialize ./internal/netfuzz/
 
 # polisd e2e smoke: race-instrumented daemon on an ephemeral port.
 # The same single-client batch driven twice must hit the warm cache on

@@ -8,6 +8,13 @@
 //	cfsmsim [-design dashboard|shock] [-target hc11|r3k]
 //	        [-until cycles] [-mode vm|behavioral] [-policy rr|prio]
 //	        [-parallel] [-workers n] [-trace]
+//	        [-profile-out prof.json] [-profile prof.json -specialize]
+//
+// -profile-out captures an execution profile (per-module TEST outcome
+// frequencies) during the run and writes it as JSON; feeding it back
+// with -profile -specialize (or to polisc -profile -specialize)
+// reorders each module's TEST outcome edges so the observed hot path
+// becomes the fall-through path, equivalence-gated per module.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"polis/internal/cfsm"
 	"polis/internal/designs"
+	"polis/internal/profile"
 	"polis/internal/rtos"
 	"polis/internal/sgraph"
 	"polis/internal/sim"
@@ -35,6 +43,9 @@ func main() {
 	trace := flag.Bool("trace", false, "dump the full event trace")
 	csvPath := flag.String("csv", "", "write the event trace as CSV to this file")
 	dot := flag.Bool("dot", false, "print the network topology in Graphviz format and exit")
+	profOut := flag.String("profile-out", "", "capture an execution profile and write it as JSON")
+	profIn := flag.String("profile", "", "execution profile JSON (from a -profile-out run)")
+	specialize := flag.Bool("specialize", false, "reorder TEST outcomes hot-path-first using -profile")
 	flag.Parse()
 
 	var prof *vm.Profile
@@ -58,6 +69,21 @@ func main() {
 	}
 	if *policy == "prio" {
 		opts.Cfg.Policy = rtos.StaticPriority
+	}
+	if *specialize != (*profIn != "") {
+		fatal(fmt.Errorf("-specialize and -profile must be used together"))
+	}
+	if *specialize {
+		p, err := profile.Load(*profIn)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Specialize = p
+	}
+	var collector *profile.Collector
+	if *profOut != "" {
+		collector = profile.NewCollector()
+		opts.Probe = collector
 	}
 
 	var net *cfsm.Network
@@ -101,6 +127,21 @@ func main() {
 	res, err := sim.Run(net, stimuli, *until, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if collector != nil {
+		p := collector.Profile()
+		if err := p.Save(*profOut); err != nil {
+			fatal(err)
+		}
+		samples := int64(0)
+		for _, mp := range p.Modules {
+			samples += mp.Reactions
+		}
+		fmt.Printf("profile: %d module(s), %d reaction sample(s) written to %s\n",
+			len(p.Modules), samples, *profOut)
+	}
+	if opts.Specialize != nil {
+		fmt.Println("specialize: TEST outcomes reordered hot-path-first (equivalence-gated)")
 	}
 
 	// A partitioned run has one RTOS (and CPU) per island; aggregate the

@@ -7,8 +7,15 @@
 //
 //	polisc [-target hc11|r3k] [-order default|naive|inputs-first]
 //	       [-j N] [-cache dir] [-stats] [-reduce]
+//	       [-profile prof.json -specialize]
 //	       [-c] [-asm] [-dot] [-optimize-copies] [-o dir] [file.strl]
 //	polisc fuzz [-seed N] [-runs N] [-config "k=v,..."]
+//
+// -profile loads an execution profile captured by cfsmsim
+// -profile-out; with -specialize the synthesis reorders each covered
+// module's TEST outcome edges so the observed hot path becomes the
+// fall-through path (equivalence-gated), and the report gains the
+// profile-weighted expected cycles next to the worst-case bound.
 //
 // The fuzz subcommand runs the network-scale co-simulation fuzz
 // harness (internal/netfuzz): randomized GALS networks simulated in
@@ -44,6 +51,7 @@ import (
 	"polis/internal/estimate"
 	"polis/internal/netfuzz"
 	"polis/internal/pipeline"
+	"polis/internal/profile"
 	"polis/internal/rtos"
 	"polis/internal/sgraph"
 	"polis/internal/vm"
@@ -88,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "synthesize up to N modules concurrently (0 = all CPUs)")
 	cacheDir := fs.String("cache", "", "artifact cache directory (empty = in-memory only)")
 	stats := fs.Bool("stats", false, "print the pipeline statistics report")
+	profPath := fs.String("profile", "", "execution profile JSON (from cfsmsim -profile-out)")
+	specialize := fs.Bool("specialize", false, "reorder TEST outcomes hot-path-first using -profile")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -122,6 +132,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opt.Codegen.OptimizeCopies = *optCopies
 	opt.Reduce = *reduce
+	if *specialize != (*profPath != "") {
+		return fail(stderr, fmt.Errorf("-specialize and -profile must be used together"))
+	}
+	if *specialize {
+		p, err := profile.Load(*profPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		opt.Profile = p
+	}
 
 	if *showParams {
 		params, err := estimate.Calibrate(opt.Target)

@@ -361,21 +361,29 @@ func (a *Builder) body(g *sgraph.SGraph) error {
 func (a *Builder) emitTest(v *sgraph.Vertex, next func(w *sgraph.Vertex)) error {
 	if len(v.Tests) == 1 && v.Tests[0].Arity() == 2 {
 		t := v.Tests[0]
+		// The branch sense follows the hot order: the fall-through arm
+		// is FallIdx() (outcome 0 unless specialized), and the branch
+		// takes the other outcome. BRZ and BRNZ cost the same in both
+		// size profiles, so swapping the sense is free.
+		brOp, brTo, fall := vm.BRNZ, v.Children[1], v.Children[0]
+		if v.FallIdx() == 1 {
+			brOp, brTo, fall = vm.BRZ, v.Children[0], v.Children[1]
+		}
 		switch t.Kind {
 		case cfsm.TestPresence:
 			a.p.Emit(vm.Instr{Op: vm.SVC, Num: vm.SvcPresent, Imm: int64(a.sigs[t.Signal]),
 				Comment: t.Name()})
-			a.p.Emit(vm.Instr{Op: vm.BRNZ, Rs: 0, Label: vlabel(v.Children[1])})
+			a.p.Emit(vm.Instr{Op: brOp, Rs: 0, Label: vlabel(brTo)})
 		case cfsm.TestPredicate:
 			if err := a.CompileExpr(t.Pred); err != nil {
 				return err
 			}
-			a.p.Emit(vm.Instr{Op: vm.BRNZ, Rs: RegVal, Label: vlabel(v.Children[1])})
+			a.p.Emit(vm.Instr{Op: brOp, Rs: RegVal, Label: vlabel(brTo)})
 		default:
 			a.p.Emit(vm.Instr{Op: vm.LD, Rd: RegVal, Addr: a.stateReadAddr(t.Sel), Comment: t.Name()})
-			a.p.Emit(vm.Instr{Op: vm.BRNZ, Rs: RegVal, Label: vlabel(v.Children[1])})
+			a.p.Emit(vm.Instr{Op: brOp, Rs: RegVal, Label: vlabel(brTo)})
 		}
-		next(v.Children[0])
+		next(fall)
 		return nil
 	}
 	// Multi-way: compute the combined outcome index into RegAcc
@@ -406,13 +414,15 @@ func (a *Builder) emitTest(v *sgraph.Vertex, next func(w *sgraph.Vertex)) error 
 		}
 	}
 	if v.Arity() <= a.opts.IfThreshold {
-		// Compare-and-branch chain.
-		for idx := 1; idx < v.Arity(); idx++ {
+		// Compare-and-branch chain in emission order: cold outcomes
+		// pay the later comparisons, the hottest falls through.
+		for pos := 1; pos < v.Arity(); pos++ {
+			idx := v.OutcomeAt(pos)
 			a.p.Emit(vm.Instr{Op: vm.LDI, Rd: RegAux, Imm: int64(idx)})
 			a.p.Emit(vm.Instr{Op: vm.BR, Cond: vm.CondEQ, Rs: RegAcc, Rt: RegAux,
 				Label: vlabel(v.Children[idx])})
 		}
-		next(v.Children[0])
+		next(v.Children[v.FallIdx()])
 		return nil
 	}
 	table := make([]string, v.Arity())

@@ -18,6 +18,13 @@ type Result struct {
 	// s-graph, Section III-C1).
 	MinCycles int64
 	MaxCycles int64
+	// ExpectedCycles is the profile-weighted mean execution time of a
+	// transition under Options.ScenarioProfile: each observed outcome
+	// vector's path is costed exactly and weighted by its observed
+	// frequency. Zero when no profile is supplied (or none of its
+	// vectors cover this graph's tests); compare against MaxCycles to
+	// see what specialization buys on the scenario actually running.
+	ExpectedCycles int64
 }
 
 // Micros converts cycles to microseconds under the target clock.
@@ -34,6 +41,11 @@ type Options struct {
 	// using the CFSM's mutual-exclusion information ("event
 	// incompatibility relations"), tightening MaxCycles.
 	UseFalsePaths bool
+	// ScenarioProfile, when set, adds the profile-weighted
+	// ExpectedCycles figure to the result. It is the same evidence the
+	// specialization pass consumes, so worst-case and expected-case
+	// can be read off one estimate.
+	ScenarioProfile *sgraph.SpecializeProfile
 }
 
 // vertexCost is the estimated cycles of the vertex body (excluding
@@ -106,27 +118,36 @@ func vertexCost(p *Params, opts Options, v *sgraph.Vertex) (cyc, sz int64) {
 	return 0, 0
 }
 
-// edgeCost is the estimated cycles of taking the k-th edge out of v.
+// edgeCost is the estimated cycles of taking the k-th (semantic)
+// edge out of v. Costs attach to emission positions, not outcome
+// indices: position 0 is the fall-through arm, later positions pay
+// progressively more comparisons. On an unspecialized vertex position
+// and index coincide; a Hot order permutes which outcome sits where,
+// which is exactly how specialization makes the hot arm cheap.
 func edgeCost(p *Params, opts Options, v *sgraph.Vertex, k int) int64 {
 	if v.Kind != sgraph.Test {
 		return 0
 	}
+	pos := v.HotPos(k)
 	if len(v.Tests) == 1 && v.Tests[0].Arity() == 2 {
 		t := v.Tests[0]
 		if t.Kind == cfsm.TestPresence {
-			return p.TestPresenceCyc[k]
+			return p.TestPresenceCyc[pos]
 		}
-		return p.TestBoolCyc[k]
+		return p.TestBoolCyc[pos]
 	}
 	threshold := opts.Codegen.IfThreshold
 	if threshold == 0 {
 		threshold = 2
 	}
 	if v.Arity() <= threshold {
-		// k-th arm of the compare chain: k comparisons before the hit.
-		return int64(k) * (p.ExprConstCyc + p.TestBoolCyc[1])
+		// The arm at emission position pos pays pos comparisons
+		// before its branch hits.
+		return int64(pos) * (p.ExprConstCyc + p.TestBoolCyc[1])
 	}
-	return int64(k) * p.TestMultiPerEdgeCyc
+	// Jump-table dispatch is uniform in reality; the per-edge model
+	// keeps the historical position-proportional approximation.
+	return int64(pos) * p.TestMultiPerEdgeCyc
 }
 
 // EstimateSGraph computes the estimate by a single traversal of the
@@ -195,9 +216,9 @@ func EstimateSGraph(g *sgraph.SGraph, p *Params, opts Options) Result {
 			first := true
 			for k, w := range v.Children {
 				e := edgeCost(p, opts, v, k)
-				if !fallsThrough(i, w) && k == 0 {
-					// Outcome 0 is the fall-through arm in the
-					// generated code; a displaced child needs a goto.
+				if !fallsThrough(i, w) && k == v.FallIdx() {
+					// FallIdx is the fall-through arm in the generated
+					// code; a displaced child needs a goto.
 					e += p.GotoCyc
 					sz += p.GotoSz
 				}
@@ -236,6 +257,9 @@ func EstimateSGraph(g *sgraph.SGraph, p *Params, opts Options) Result {
 		if mx, ok := maxWithFalsePaths(g, p, opts, entryCyc); ok && mx < res.MaxCycles {
 			res.MaxCycles = mx
 		}
+	}
+	if opts.ScenarioProfile != nil {
+		res.ExpectedCycles = expectedCycles(g, p, opts, order, fallsThrough, entryCyc)
 	}
 
 	// --- RAM: persistent state + copies + value copies + spill temps ---

@@ -1,0 +1,129 @@
+package estimate
+
+import (
+	"strconv"
+	"strings"
+
+	"polis/internal/sgraph"
+)
+
+// expectedCycles computes the profile-weighted mean transition time:
+// every outcome vector observed by the scenario profile is replayed
+// through the s-graph and its exact path cost — vertex bodies, edge
+// arms under the current hot orders, gotos where the layout displaces
+// a fall-through child — accumulated with the vector's observed
+// frequency. Vectors that do not cover every test on their path (the
+// profile came from a different synthesis of the module) are dropped
+// from the weighting rather than guessed at. The order/fallsThrough
+// pair must be the ones the size/bound DP used, so the goto placement
+// agrees between the figures.
+func expectedCycles(g *sgraph.SGraph, p *Params, opts Options,
+	order []*sgraph.Vertex, fallsThrough func(int, *sgraph.Vertex) bool, entryCyc int64) int64 {
+	prof := opts.ScenarioProfile
+	col := make(map[string]int, len(prof.TestNames))
+	for i, n := range prof.TestNames {
+		col[n] = i
+	}
+	// Outcome per graph test for the vector being replayed; -1 when
+	// the profile does not cover the test.
+	outcome := make([]int, len(g.C.Tests))
+	colOf := make([]int, len(g.C.Tests))
+	for i, t := range g.C.Tests {
+		if c, ok := col[t.Name()]; ok {
+			colOf[i] = c
+		} else {
+			colOf[i] = -1
+		}
+	}
+	idOf := make(map[string]int, len(g.C.Tests))
+	for i, t := range g.C.Tests {
+		idOf[t.Name()] = i
+	}
+	idx := make(map[*sgraph.Vertex]int, len(order))
+	for i, v := range order {
+		idx[v] = i
+	}
+
+	var weighted, total int64
+	for key, count := range prof.Outcomes {
+		if count <= 0 {
+			continue
+		}
+		parts := strings.Split(key, ",")
+		if len(parts) != len(prof.TestNames) {
+			continue
+		}
+		ok := true
+		for i := range outcome {
+			outcome[i] = -1
+		}
+		for i, c := range colOf {
+			if c < 0 {
+				continue
+			}
+			v, err := strconv.Atoi(parts[c])
+			if err != nil || v < 0 || v >= g.C.Tests[i].Arity() {
+				ok = false
+				break
+			}
+			outcome[i] = v
+		}
+		if !ok {
+			continue
+		}
+		cycles, covered := pathCycles(g, p, opts, order, idx, fallsThrough, outcome, idOf)
+		if !covered {
+			continue
+		}
+		weighted += (entryCyc + cycles) * count
+		total += count
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// pathCycles walks one outcome vector from BEGIN to END and sums the
+// same cost terms the bound DP charges along that path. covered is
+// false when the walk hits a test the vector does not determine.
+func pathCycles(g *sgraph.SGraph, p *Params, opts Options,
+	order []*sgraph.Vertex, idx map[*sgraph.Vertex]int,
+	fallsThrough func(int, *sgraph.Vertex) bool,
+	outcome []int, idOf map[string]int) (int64, bool) {
+	var cycles int64
+	v := g.Begin
+	steps := 0
+	for {
+		if steps++; steps > len(g.Vertices)+1 {
+			return 0, false
+		}
+		vc, _ := vertexCost(p, opts, v)
+		cycles += vc
+		i := idx[v]
+		switch v.Kind {
+		case sgraph.End:
+			return cycles, true
+		case sgraph.Test:
+			k := 0
+			for _, t := range v.Tests {
+				o := outcome[idOf[t.Name()]]
+				if o < 0 {
+					return 0, false
+				}
+				k = k*t.Arity() + o
+			}
+			w := v.Children[k]
+			cycles += edgeCost(p, opts, v, k)
+			if !fallsThrough(i, w) && k == v.FallIdx() {
+				cycles += p.GotoCyc
+			}
+			v = w
+		default: // Begin, Assign
+			if !fallsThrough(i, v.Next) {
+				cycles += p.GotoCyc
+			}
+			v = v.Next
+		}
+	}
+}

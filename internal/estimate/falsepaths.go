@@ -88,7 +88,7 @@ func maxWithFalsePaths(g *sgraph.SGraph, p *Params, opts Options, entryCyc int64
 					}
 				}
 				e := edgeCost(p, opts, v, kk)
-				if !fallsThrough(i, w) && kk == 0 {
+				if !fallsThrough(i, w) && kk == v.FallIdx() {
 					e += p.GotoCyc
 				}
 				sub := walk(w, a2)

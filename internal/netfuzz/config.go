@@ -113,8 +113,12 @@ type Config struct {
 	Chains   bool              // two software machines chained
 	Reduce   bool              // synthesize with s-graph reduction
 	Storm    bool              // same-cycle duplicate stimulus storms (batched delivery)
-	Faults   Fault             // enabled fault injectors
-	Mutant   rtos.Mutant       // injected bad semantics (self-check only)
+	// Specialize runs a behavioral profiling pre-run and synthesizes
+	// both checked modes with profile-guided hot-path specialization,
+	// so the differential invariants exercise reordered TEST layouts.
+	Specialize bool
+	Faults     Fault       // enabled fault injectors
+	Mutant     rtos.Mutant // injected bad semantics (self-check only)
 }
 
 // DefaultConfig is the strict regime: a chain topology with spaced
@@ -184,10 +188,11 @@ func (c Config) String() string {
 	if c.Policy == rtos.StaticPriority {
 		policy = "prio"
 	}
-	return fmt.Sprintf("n=%d,topo=%s,stim=%d,gap=%d,hz=%d,policy=%s,preempt=%s,poll=%s,hw=%s,chain=%s,reduce=%s,storm=%s,faults=%s,mutant=%s",
+	return fmt.Sprintf("n=%d,topo=%s,stim=%d,gap=%d,hz=%d,policy=%s,preempt=%s,poll=%s,hw=%s,chain=%s,reduce=%s,storm=%s,spec=%s,faults=%s,mutant=%s",
 		c.Machines, topoName(c.Topology), c.Stimuli, c.Gap, c.Horizon, policy,
 		boolName(c.Preempt), boolName(c.Polling), boolName(c.HW), boolName(c.Chains),
-		boolName(c.Reduce), boolName(c.Storm), c.Faults, mutantName(c.Mutant))
+		boolName(c.Reduce), boolName(c.Storm), boolName(c.Specialize),
+		c.Faults, mutantName(c.Mutant))
 }
 
 // Parse decodes a Config from the String encoding. Unknown keys are
@@ -235,6 +240,8 @@ func Parse(s string) (Config, error) {
 			c.Reduce = v == "1"
 		case "storm":
 			c.Storm = v == "1"
+		case "spec":
+			c.Specialize = v == "1"
 		case "faults":
 			c.Faults, err = parseFaults(v)
 		case "mutant":

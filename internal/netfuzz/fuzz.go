@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"polis/internal/cfsm"
+	"polis/internal/profile"
 	"polis/internal/randcfsm"
 	"polis/internal/rtos"
 	"polis/internal/sim"
@@ -249,6 +250,20 @@ func RunOne(seed int64, cfg Config) *Report {
 	rc := buildRTOS(r, net, cfg)
 	stimuli, horizon := buildStimuli(r, net, cfg)
 
+	// Specialization needs evidence: a behavioral profiling pre-run
+	// over the identical timeline captures per-module TEST outcome
+	// frequencies. A failing pre-run leaves prof nil — the checked
+	// runs then execute unspecialized and report the underlying
+	// failure themselves.
+	var prof *profile.Profile
+	if cfg.Specialize {
+		col := profile.NewCollector()
+		preOpt := sim.Options{Cfg: rc, Mode: sim.Behavioral, Probe: col, Reduce: cfg.Reduce}
+		if _, err, pmsg := runGuarded(net, stimuli, horizon, preOpt); err == nil && pmsg == "" {
+			prof = col.Profile()
+		}
+	}
+
 	type modeRun struct {
 		res   *sim.Result
 		model *Model
@@ -258,7 +273,8 @@ func RunOne(seed int64, cfg Config) *Report {
 		model := NewModel()
 		opt := sim.Options{
 			Cfg: rc, Mode: mode, Probe: model, Reduce: cfg.Reduce,
-			Check: sim.CheckOptions{VMAgainstReference: true, CycleBounds: true},
+			Specialize: prof,
+			Check:      sim.CheckOptions{VMAgainstReference: true, CycleBounds: true},
 		}
 		res, err, pmsg := runGuarded(net, stimuli, horizon, opt)
 		if pmsg != "" {
@@ -406,6 +422,12 @@ func RandomConfig(r *rand.Rand, mutant rtos.Mutant) Config {
 	if r.Intn(3) == 0 {
 		c.Storm = true
 	}
+	// Specialize rides the same rule: appended after every historical
+	// knob, so earlier seeds keep their shapes and just sometimes gain
+	// a profiling pre-run plus hot-path-reordered task graphs.
+	if r.Intn(3) == 0 {
+		c.Specialize = true
+	}
 	return c
 }
 
@@ -491,6 +513,9 @@ func shrinkCandidates(c Config) []Config {
 	}
 	if c.Storm {
 		add(func(d *Config) { d.Storm = false })
+	}
+	if c.Specialize {
+		add(func(d *Config) { d.Specialize = false })
 	}
 	if c.Policy == rtos.StaticPriority && !c.Preempt {
 		add(func(d *Config) { d.Policy = rtos.RoundRobin })

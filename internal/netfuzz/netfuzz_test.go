@@ -21,6 +21,8 @@ func TestConfigRoundTrip(t *testing.T) {
 			Mutant: rtos.MutantConsumeUnfired},
 		{Machines: 4, Topology: 1, Stimuli: 6, Gap: 500, Storm: true,
 			Faults: FaultBurst},
+		{Machines: 3, Topology: 1, Stimuli: 8, Gap: 2000, Specialize: true,
+			Storm: true, Faults: FaultJitter},
 	}
 	for _, c := range cases {
 		want, err := c.normalize()
@@ -172,6 +174,31 @@ func TestFuzzCampaignStorm(t *testing.T) {
 	res := Campaign(1, runs, cfg, false, &sb)
 	if len(res.Failures) != 0 {
 		t.Fatalf("storm campaign found %d violations:\n%s", len(res.Failures), sb.String())
+	}
+}
+
+// TestFuzzCampaignSpecialize pins specialization coverage: every run
+// captures a behavioral profile first, then both checked modes execute
+// hot-path-reordered task graphs, so the differential invariants (VM
+// vs reference interpreter, cycle bounds, trace equality) gate every
+// specialized layout. The randomized campaign also draws specialize
+// scenarios, but this fixed config cannot rotate away.
+// NETFUZZ_SPEC_RUNS bumps the budget (ci.sh).
+func TestFuzzCampaignSpecialize(t *testing.T) {
+	runs := 40
+	if s := os.Getenv("NETFUZZ_SPEC_RUNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad NETFUZZ_SPEC_RUNS %q: %v", s, err)
+		}
+		runs = n
+	}
+	cfg := DefaultConfig()
+	cfg.Specialize = true
+	var sb strings.Builder
+	res := Campaign(1, runs, cfg, false, &sb)
+	if len(res.Failures) != 0 {
+		t.Fatalf("specialize campaign found %d violations:\n%s", len(res.Failures), sb.String())
 	}
 }
 

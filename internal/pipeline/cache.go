@@ -72,6 +72,14 @@ func Fingerprint(m *cfsm.CFSM, opt Options) string {
 			opt.ReduceOpt.MaxIter, opt.ReduceOpt.NoShare, opt.ReduceOpt.NoDontCare,
 			opt.ReduceOpt.NoStraighten, opt.ReduceOpt.MaxContextNodes)
 	}
+	if opt.Profile != nil {
+		// Specialization reshapes the generated code, so the profile
+		// evidence for this module is part of the cache key. Modules
+		// the profile has nothing on stay on their unspecialized key.
+		if mp := opt.Profile.Module(m.Name); mp != nil && len(mp.Outcomes) > 0 {
+			fmt.Fprintf(h, "specialize %s\n", mp.Fingerprint())
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -188,22 +196,24 @@ func (c *Cache) Stats() CacheStats {
 // (SGraph, Program, CFSM) are intentionally absent: they are cheap to
 // rebuild when needed and expensive to serialise faithfully.
 type diskEntry struct {
-	Schema     int
-	Module     string
-	NumTests   int
-	NumActions int
-	NumTrans   int
-	C          string
-	Listing    string
-	Estimate   estimate.Result
-	Measured   vm.PathCycles
-	CodeSize   int
-	Stats      sgraph.Stats
-	Reduced    bool
-	Reduce     sgraph.ReduceStats
+	Schema      int
+	Module      string
+	NumTests    int
+	NumActions  int
+	NumTrans    int
+	C           string
+	Listing     string
+	Estimate    estimate.Result
+	Measured    vm.PathCycles
+	CodeSize    int
+	Stats       sgraph.Stats
+	Reduced     bool
+	Reduce      sgraph.ReduceStats
+	Specialized bool
+	Specialize  sgraph.SpecializeStats
 }
 
-const diskSchema = 2
+const diskSchema = 3
 
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
@@ -239,18 +249,20 @@ func (c *Cache) Get(key string) (a *Artifact, fromDisk, ok bool) {
 		return nil, false, false
 	}
 	a = &Artifact{
-		Module:     e.Module,
-		NumTests:   e.NumTests,
-		NumActions: e.NumActions,
-		NumTrans:   e.NumTrans,
-		C:          e.C,
-		Listing:    e.Listing,
-		Estimate:   e.Estimate,
-		Measured:   e.Measured,
-		CodeSize:   e.CodeSize,
-		Stats:      e.Stats,
-		Reduced:    e.Reduced,
-		Reduce:     e.Reduce,
+		Module:      e.Module,
+		NumTests:    e.NumTests,
+		NumActions:  e.NumActions,
+		NumTrans:    e.NumTrans,
+		C:           e.C,
+		Listing:     e.Listing,
+		Estimate:    e.Estimate,
+		Measured:    e.Measured,
+		CodeSize:    e.CodeSize,
+		Stats:       e.Stats,
+		Reduced:     e.Reduced,
+		Reduce:      e.Reduce,
+		Specialized: e.Specialized,
+		Specialize:  e.Specialize,
 	}
 	t = time.Now()
 	c.mu.Lock()
@@ -276,19 +288,21 @@ func (c *Cache) Put(key string, a *Artifact) {
 		return
 	}
 	data, err := json.Marshal(diskEntry{
-		Schema:     diskSchema,
-		Module:     a.Module,
-		NumTests:   a.NumTests,
-		NumActions: a.NumActions,
-		NumTrans:   a.NumTrans,
-		C:          a.C,
-		Listing:    a.Listing,
-		Estimate:   a.Estimate,
-		Measured:   a.Measured,
-		CodeSize:   a.CodeSize,
-		Stats:      a.Stats,
-		Reduced:    a.Reduced,
-		Reduce:     a.Reduce,
+		Schema:      diskSchema,
+		Module:      a.Module,
+		NumTests:    a.NumTests,
+		NumActions:  a.NumActions,
+		NumTrans:    a.NumTrans,
+		C:           a.C,
+		Listing:     a.Listing,
+		Estimate:    a.Estimate,
+		Measured:    a.Measured,
+		CodeSize:    a.CodeSize,
+		Stats:       a.Stats,
+		Reduced:     a.Reduced,
+		Reduce:      a.Reduce,
+		Specialized: a.Specialized,
+		Specialize:  a.Specialize,
 	})
 	if err != nil {
 		return

@@ -32,6 +32,7 @@ import (
 	"polis/internal/cfsm"
 	"polis/internal/codegen"
 	"polis/internal/estimate"
+	"polis/internal/profile"
 	"polis/internal/sgraph"
 	"polis/internal/vm"
 )
@@ -57,6 +58,12 @@ type Options struct {
 	// ReduceOpt tunes the reduction passes; the zero value runs all
 	// passes with default limits.
 	ReduceOpt sgraph.ReduceOptions
+	// Profile, when non-nil, enables the profile-guided specialization
+	// stage for every module the profile has evidence for: TEST
+	// outcome edges are reordered hottest-first (equivalence-gated),
+	// and the estimate stage reports the profile-weighted expected
+	// cycles next to the worst-case bound.
+	Profile *profile.Profile
 }
 
 func (o *Options) fill() {
@@ -100,6 +107,11 @@ type Artifact struct {
 	Reduced bool
 	Reduce  sgraph.ReduceStats
 
+	// Specialized records whether the profile-guided specialization
+	// stage ran; Specialize holds its statistics.
+	Specialized bool
+	Specialize  sgraph.SpecializeStats
+
 	// Live handles; nil on a disk-cache hit.
 	CFSM    *cfsm.CFSM
 	SGraph  *sgraph.SGraph
@@ -128,6 +140,12 @@ cycles per transition: measured [%d, %d], estimated [%d, %d]
 		a.Measured.Min, a.Measured.Max, a.Estimate.MinCycles, a.Estimate.MaxCycles)
 	if a.Reduced {
 		s += fmt.Sprintf("reduce: %s\n", a.Reduce)
+	}
+	if a.Specialized {
+		s += fmt.Sprintf("specialize: %s\n", a.Specialize)
+		if a.Estimate.ExpectedCycles > 0 {
+			s += fmt.Sprintf("expected cycles (profiled): %d\n", a.Estimate.ExpectedCycles)
+		}
 	}
 	return s
 }
@@ -221,6 +239,26 @@ func SynthesizeModuleContext(ctx context.Context, m *cfsm.CFSM, opt Options, tr 
 		return nil, err
 	}
 
+	var specStats sgraph.SpecializeStats
+	var specProf *sgraph.SpecializeProfile
+	specialized := false
+	if opt.Profile != nil {
+		if sp := opt.Profile.Module(m.Name).Spec(); sp != nil {
+			t = time.Now()
+			specStats, err = g.SpecializeChecked(sp)
+			tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageSpecialize, Duration: time.Since(t)})
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: specialize: %w", err)
+			}
+			tr.Event(Event{Kind: EvSpecialize, Module: m.Name, Specialize: specStats})
+			specialized = true
+			specProf = sp
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	t = time.Now()
 	prog, err := codegen.Assemble(g, codegen.NewSignalMap(m), opt.Codegen)
 	if err != nil {
@@ -240,27 +278,30 @@ func SynthesizeModuleContext(ctx context.Context, m *cfsm.CFSM, opt Options, tr 
 		return nil, err
 	}
 	est := estimate.EstimateSGraph(g, params, estimate.Options{
-		Codegen:       opt.Codegen,
-		UseFalsePaths: opt.UseFalsePaths,
+		Codegen:         opt.Codegen,
+		UseFalsePaths:   opt.UseFalsePaths,
+		ScenarioProfile: specProf,
 	})
 	tr.Event(Event{Kind: EvStage, Module: m.Name, Stage: StageEstimate, Duration: time.Since(t)})
 
 	return &Artifact{
-		Module:     m.Name,
-		NumTests:   len(m.Tests),
-		NumActions: len(m.Actions),
-		NumTrans:   len(m.Trans),
-		C:          cSrc,
-		Listing:    prog.Listing(),
-		Estimate:   est,
-		Measured:   meas,
-		CodeSize:   opt.Target.CodeSize(prog),
-		Stats:      g.ComputeStats(),
-		Reduced:    opt.Reduce,
-		Reduce:     reduceStats,
-		CFSM:       m,
-		SGraph:     g,
-		Program:    prog,
+		Module:      m.Name,
+		NumTests:    len(m.Tests),
+		NumActions:  len(m.Actions),
+		NumTrans:    len(m.Trans),
+		C:           cSrc,
+		Listing:     prog.Listing(),
+		Estimate:    est,
+		Measured:    meas,
+		CodeSize:    opt.Target.CodeSize(prog),
+		Stats:       g.ComputeStats(),
+		Reduced:     opt.Reduce,
+		Reduce:      reduceStats,
+		Specialized: specialized,
+		Specialize:  specStats,
+		CFSM:        m,
+		SGraph:      g,
+		Program:     prog,
 	}, nil
 }
 

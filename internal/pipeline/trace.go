@@ -29,6 +29,10 @@ const (
 	// (sharing, don't-care TEST elimination, ASSIGN straightening);
 	// only present when Options.Reduce is set.
 	StageReduce
+	// StageSpecialize runs profile-guided hot-path specialization
+	// (TEST outcome reordering gated by CheckEquivalent); only present
+	// when Options.Profile covers the module.
+	StageSpecialize
 	// StageCodegen emits C, assembles object code and measures exact
 	// cycle bounds on the virtual target.
 	StageCodegen
@@ -49,6 +53,8 @@ func (s Stage) String() string {
 		return "s-graph"
 	case StageReduce:
 		return "reduce"
+	case StageSpecialize:
+		return "specialize"
 	case StageCodegen:
 		return "codegen"
 	case StageEstimate:
@@ -87,6 +93,9 @@ const (
 	EvModuleError
 	// EvReduce reports the module's s-graph reduction statistics.
 	EvReduce
+	// EvSpecialize reports the module's profile-guided specialization
+	// statistics.
+	EvSpecialize
 )
 
 // Event is one observation emitted by the pipeline. Only the fields
@@ -137,6 +146,8 @@ type Event struct {
 	Cache *CacheStats
 
 	Reduce sgraph.ReduceStats // EvReduce
+
+	Specialize sgraph.SpecializeStats // EvSpecialize
 
 	Err error // EvModuleError
 }
@@ -189,6 +200,11 @@ type Collector struct {
 	reduceShares   int // vertices merged by hash-consing
 	reduceAssigns  int // dead ASSIGN vertices dropped
 	reduceRedirect int // infeasible edges redirected
+
+	specModules   int   // modules that ran the specialization stage
+	specSamples   int64 // profiled reactions consumed
+	specTests     int   // TEST vertices with profile weight
+	specReordered int   // TEST vertices given a hot order
 
 	hits, diskHits, misses, dedups int
 
@@ -258,6 +274,11 @@ func (c *Collector) Event(e Event) {
 		c.reduceShares += e.Reduce.Shares
 		c.reduceAssigns += e.Reduce.AssignsDropped
 		c.reduceRedirect += e.Reduce.EdgesRedirected
+	case EvSpecialize:
+		c.specModules++
+		c.specSamples += e.Specialize.Samples
+		c.specTests += e.Specialize.Tests
+		c.specReordered += e.Specialize.Reordered
 	case EvCacheHit:
 		c.hits++
 		if e.FromDisk {
@@ -395,6 +416,10 @@ func (c *Collector) Report() string {
 		fmt.Fprintf(&b, "  reduce: %d module(s), vertices %d -> %d, %d test(s) eliminated, %d share(s), %d assign(s) dropped, %d edge(s) redirected\n",
 			c.reduceModules, c.reduceBefore, c.reduceAfter,
 			c.reduceTests, c.reduceShares, c.reduceAssigns, c.reduceRedirect)
+	}
+	if c.specModules > 0 {
+		fmt.Fprintf(&b, "  specialize: %d module(s), %d reaction sample(s), %d/%d weighted TEST vertice(s) reordered\n",
+			c.specModules, c.specSamples, c.specReordered, c.specTests)
 	}
 	fmt.Fprintf(&b, "  cache: %d hit(s) (%d from disk), %d miss(es), %d dedup join(s)\n",
 		c.hits, c.diskHits, c.misses, c.dedups)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -254,18 +255,35 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		rep.Reqs = float64(rep.Requests) / rep.Wall.Seconds()
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
-	}
-	rep.P50, rep.P90, rep.P99 = pct(0.50), pct(0.90), pct(0.99)
+	rep.P50 = percentile(latencies, 0.50)
+	rep.P90 = percentile(latencies, 0.90)
+	rep.P99 = percentile(latencies, 0.99)
 	if n := len(latencies); n > 0 {
 		rep.Max = latencies[n-1]
 	}
 	return rep, nil
+}
+
+// percentile returns the nearest-rank p-quantile of a sorted latency
+// vector: the smallest sample with at least a p fraction of the data
+// at or below it, index ceil(p*n)-1 clamped to the vector. The old
+// floor-based index int(p*(n-1)) rounded small samples down — P99 of
+// 10 samples landed on index 8, collapsing into P90's bucket instead
+// of clamping toward the max — which understated tail latency on
+// every short loadgen run.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
 }
 
 func (c *loadClient) post(ctx context.Context, client *http.Client, url string) (*SynthResponse, int, error) {

@@ -1,0 +1,66 @@
+package polisd
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileNearestRank pins the loadgen quantile estimator on
+// known latency vectors. The regression of interest is small samples:
+// nearest-rank P99 of fewer than 100 samples must clamp toward the
+// maximum, never collapse into P90's bucket (the old floor-based
+// index gave P99 == P90 for n == 10) or index out of range.
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(vals ...int) []time.Duration {
+		out := make([]time.Duration, len(vals))
+		for i, v := range vals {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	seq := func(n int) []time.Duration { // 1ms..n ms, sorted
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = i + 1
+		}
+		return ms(vals...)
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 0.99, 0},
+		{"single/p50", ms(7), 0.50, 7 * time.Millisecond},
+		{"single/p99", ms(7), 0.99, 7 * time.Millisecond},
+		{"two/p50", ms(1, 2), 0.50, 1 * time.Millisecond},
+		{"two/p90", ms(1, 2), 0.90, 2 * time.Millisecond},
+		{"two/p99", ms(1, 2), 0.99, 2 * time.Millisecond},
+		// n=10: P50 = 5th sample, P90 = 9th, P99 must clamp to the
+		// max (10th) — the old code returned the 9th, P90's bucket.
+		{"ten/p50", seq(10), 0.50, 5 * time.Millisecond},
+		{"ten/p90", seq(10), 0.90, 9 * time.Millisecond},
+		{"ten/p99", seq(10), 0.99, 10 * time.Millisecond},
+		// n=100: exact ranks.
+		{"hundred/p50", seq(100), 0.50, 50 * time.Millisecond},
+		{"hundred/p90", seq(100), 0.90, 90 * time.Millisecond},
+		{"hundred/p99", seq(100), 0.99, 99 * time.Millisecond},
+		// n=101: ceil(0.99*101)=100 -> 100th sample.
+		{"hundred-one/p99", seq(101), 0.99, 100 * time.Millisecond},
+		// p=1 must not index past the end.
+		{"ten/p100", seq(10), 1.0, 10 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(n=%d, p=%.2f) = %v, want %v",
+				tc.name, len(tc.sorted), tc.p, got, tc.want)
+		}
+	}
+	// The headline regression, stated directly: on a 10-sample run
+	// P99 must sit strictly above P90 when the max is distinct.
+	s := seq(10)
+	if p90, p99 := percentile(s, 0.90), percentile(s, 0.99); p99 <= p90 {
+		t.Errorf("P99 (%v) collapsed into P90's bucket (%v) on 10 samples", p99, p90)
+	}
+}

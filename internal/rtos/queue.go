@@ -43,8 +43,10 @@ func (q *emitQueue) push(r emitRec) {
 
 func (q *emitQueue) pop() emitRec {
 	r := q.buf[q.head]
-	q.buf[q.head].from = nil
-	q.buf[q.head].sig = nil
+	// Clear the whole vacated record, not just the pointers: a stale
+	// val/hw pair left in the ring could silently resurface through a
+	// future drain bug, and the pointers must drop for GC anyway.
+	q.buf[q.head] = emitRec{}
 	q.head = (q.head + 1) & (len(q.buf) - 1)
 	return r
 }

@@ -1,0 +1,54 @@
+package rtos
+
+import (
+	"testing"
+
+	"polis/internal/cfsm"
+)
+
+// TestEmitQueueSlotHygiene pins the pop-side invariant: a vacated ring
+// slot is fully zeroed — from, sig, val AND hw — so no field of a
+// drained record can leak into a later read of the same slot. The
+// FIFO order and grow-time unrolling are exercised along the way.
+func TestEmitQueueSlotHygiene(t *testing.T) {
+	sig := &cfsm.Signal{Name: "s"}
+	task := &Task{}
+	var q emitQueue
+
+	// Fill past the initial capacity so grow unrolls a wrapped ring:
+	// offset head first, then push enough records to force doubling.
+	for i := 0; i < 5; i++ {
+		q.push(emitRec{from: task, sig: sig, val: int64(1000 + i), hw: true})
+	}
+	for i := 0; i < 5; i++ {
+		q.pop()
+	}
+	const n = 40 // > 16 initial slots, so grow runs with head > 0
+	for i := 0; i < n; i++ {
+		q.push(emitRec{from: task, sig: sig, val: int64(i), hw: i%2 == 0})
+	}
+	for i := 0; i < n; i++ {
+		got := q.pop()
+		if got.from != task || got.sig != sig || got.val != int64(i) || got.hw != (i%2 == 0) {
+			t.Fatalf("pop %d: got %+v", i, got)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue should be empty after draining")
+	}
+	// Every slot of the ring must be fully cleared now: nothing of the
+	// drained records — values and flags included — may remain.
+	for i, slot := range q.buf {
+		if slot != (emitRec{}) {
+			t.Fatalf("slot %d not cleared after pop: %+v", i, slot)
+		}
+	}
+
+	// Reuse after drain: records pushed into recycled slots must read
+	// back exactly, proving pops can't corrupt subsequent pushes.
+	q.push(emitRec{from: task, sig: sig, val: 7})
+	got := q.pop()
+	if got.val != 7 || got.hw {
+		t.Fatalf("recycled slot returned %+v", got)
+	}
+}

@@ -1,10 +1,17 @@
 package sgraph
 
 import (
+	"errors"
 	"fmt"
 
 	"polis/internal/cfsm"
 )
+
+// ErrOutcomeSpaceTooLarge is returned by the exhaustive checks when
+// the product of test arities exceeds the enumeration bound. Callers
+// that use the checks as an optional gate (SpecializeChecked) detect
+// it with errors.Is and degrade gracefully instead of failing.
+var ErrOutcomeSpaceTooLarge = errors.New("sgraph: outcome space too large for exhaustive check")
 
 // CheckFunctional verifies Definition 2 of the paper over the whole
 // test-outcome space: for every combination of test outcomes the
@@ -19,7 +26,7 @@ func (g *SGraph) CheckFunctional(r *cfsm.Reactive) error {
 	for _, t := range g.C.Tests {
 		combos *= t.Arity()
 		if combos > maxCombos {
-			return fmt.Errorf("sgraph: outcome space too large for exhaustive check")
+			return ErrOutcomeSpaceTooLarge
 		}
 	}
 	outcome := make([]int, len(g.C.Tests))
@@ -165,7 +172,7 @@ func (g *SGraph) CheckEquivalent(h *SGraph) error {
 	for _, t := range g.C.Tests {
 		combos *= t.Arity()
 		if combos > maxCombos {
-			return fmt.Errorf("sgraph: outcome space too large for exhaustive check")
+			return ErrOutcomeSpaceTooLarge
 		}
 	}
 	outcome := make([]int, len(g.C.Tests))

@@ -53,6 +53,17 @@ type Vertex struct {
 	Tests    []*cfsm.Test
 	Children []*Vertex // length = product of test arities
 
+	// Hot, when non-nil, is a permutation of the outcome indices of a
+	// TEST vertex ordered hottest-first, set by the profile-guided
+	// Specialize pass. It is purely advisory layout/emission guidance:
+	// Children stays indexed by the semantic combined outcome, so
+	// evaluation and the equivalence checks never consult it. Code
+	// generation places Hot[0] on the fall-through arc and tests the
+	// remaining outcomes in Hot order; a nil Hot means the legacy
+	// layout (outcome 0 falls through), which Specialize preserves by
+	// normalising identity permutations back to nil.
+	Hot []int
+
 	// Assign vertices.
 	Action *cfsm.Action
 	Next   *Vertex
@@ -65,6 +76,41 @@ func (v *Vertex) Arity() int {
 		n *= t.Arity()
 	}
 	return n
+}
+
+// OutcomeAt maps an emission position to the semantic outcome index
+// laid out there: Hot[pos] when a hot order is set, pos otherwise.
+func (v *Vertex) OutcomeAt(pos int) int {
+	if v.Hot != nil {
+		return v.Hot[pos]
+	}
+	return pos
+}
+
+// HotPos is the inverse of OutcomeAt: the emission position of
+// semantic outcome k. Position 0 is the fall-through arm; higher
+// positions are tested (and so cost more) in order. Arities are tiny,
+// so the linear scan beats keeping an inverse table coherent.
+func (v *Vertex) HotPos(k int) int {
+	if v.Hot == nil {
+		return k
+	}
+	for pos, o := range v.Hot {
+		if o == k {
+			return pos
+		}
+	}
+	return k // unreachable on well-formed graphs
+}
+
+// FallIdx returns the semantic outcome index code generation places on
+// the fall-through arc: the hottest outcome when a hot order is set,
+// outcome 0 otherwise.
+func (v *Vertex) FallIdx() int {
+	if len(v.Hot) > 0 {
+		return v.Hot[0]
+	}
+	return 0
 }
 
 // SGraph is a complete software graph for one CFSM.
@@ -244,6 +290,19 @@ func (g *SGraph) CheckWellFormed() error {
 				return fmt.Errorf("sgraph: TEST vertex %d has %d children, want %d",
 					v.ID, len(v.Children), v.Arity())
 			}
+			if v.Hot != nil {
+				if len(v.Hot) != v.Arity() {
+					return fmt.Errorf("sgraph: TEST vertex %d hot order has %d entries, want %d",
+						v.ID, len(v.Hot), v.Arity())
+				}
+				hseen := make([]bool, v.Arity())
+				for _, k := range v.Hot {
+					if k < 0 || k >= v.Arity() || hseen[k] {
+						return fmt.Errorf("sgraph: TEST vertex %d hot order is not a permutation of outcomes", v.ID)
+					}
+					hseen[k] = true
+				}
+			}
 		case Begin, Assign:
 			if v.Kind == Assign && v.Action == nil {
 				return fmt.Errorf("sgraph: ASSIGN vertex %d with no action", v.ID)
@@ -315,7 +374,10 @@ func (g *SGraph) CheckWellFormed() error {
 // the traversal below must stay byte-identical to the recursive
 // preorder it replaced; the explicit stack (children pushed in
 // reverse, seen-check on pop) visits the same sequence without
-// growing the goroutine stack on deep TEST chains.
+// growing the goroutine stack on deep TEST chains. TEST children are
+// walked in emission order (OutcomeAt), so a specialized vertex lays
+// its hot fall-through subgraph out first and Hot=nil graphs keep the
+// historical layout exactly.
 func (g *SGraph) Reachable() []*Vertex {
 	var order []*Vertex
 	seen := make(map[*Vertex]bool)
@@ -330,9 +392,9 @@ func (g *SGraph) Reachable() []*Vertex {
 		order = append(order, v)
 		switch v.Kind {
 		case Test:
-			for i := len(v.Children) - 1; i >= 0; i-- {
-				if !seen[v.Children[i]] {
-					stack = append(stack, v.Children[i])
+			for p := len(v.Children) - 1; p >= 0; p-- {
+				if c := v.Children[v.OutcomeAt(p)]; !seen[c] {
+					stack = append(stack, c)
 				}
 			}
 		case Begin, Assign:
@@ -342,6 +404,42 @@ func (g *SGraph) Reachable() []*Vertex {
 		}
 	}
 	return order
+}
+
+// Clone returns a deep copy of the graph structure. Vertex structs are
+// duplicated (so Hot orders and wiring can diverge) while the
+// immutable leaves — tests, actions, and the owning CFSM — stay
+// shared, which is what CheckEquivalent's pointer-based comparisons
+// require.
+func (g *SGraph) Clone() *SGraph {
+	m := make(map[*Vertex]*Vertex, len(g.Vertices))
+	ng := &SGraph{C: g.C, Vertices: make([]*Vertex, 0, len(g.Vertices))}
+	for _, v := range g.Vertices {
+		nv := &Vertex{ID: v.ID, Kind: v.Kind, Action: v.Action}
+		if v.Tests != nil {
+			nv.Tests = append([]*cfsm.Test(nil), v.Tests...)
+		}
+		if v.Hot != nil {
+			nv.Hot = append([]int(nil), v.Hot...)
+		}
+		m[v] = nv
+		ng.Vertices = append(ng.Vertices, nv)
+	}
+	for _, v := range g.Vertices {
+		nv := m[v]
+		if v.Next != nil {
+			nv.Next = m[v.Next]
+		}
+		if v.Children != nil {
+			nv.Children = make([]*Vertex, len(v.Children))
+			for i, c := range v.Children {
+				nv.Children[i] = m[c]
+			}
+		}
+	}
+	ng.Begin = m[g.Begin]
+	ng.End = m[g.End]
+	return ng
 }
 
 // Parents computes the in-degree of each reachable vertex.

@@ -1,0 +1,222 @@
+package sgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SpecializeProfile is the execution-frequency evidence the
+// profile-guided specialization pass consumes: how often each full
+// test-outcome vector was observed for this module across a campaign.
+// It deliberately lives in sgraph (rather than importing the collector
+// package) so the pass has no dependency on how profiles are gathered;
+// internal/profile converts its per-module aggregates into this shape.
+type SpecializeProfile struct {
+	// TestNames gives the column order of the outcome vectors, using
+	// cfsm.Test.Name() strings (unique per CFSM). Tests the collector
+	// saw that the graph no longer contains — or vice versa — are
+	// simply ignored, so profiles survive re-synthesis drift.
+	TestNames []string
+	// Outcomes maps an observed outcome vector, encoded as the
+	// comma-joined decimal outcomes in TestNames order (OutcomeKey),
+	// to the number of reactions that exhibited it.
+	Outcomes map[string]int64
+}
+
+// OutcomeKey encodes one outcome vector in the canonical form used by
+// SpecializeProfile.Outcomes.
+func OutcomeKey(outcome []int) string {
+	parts := make([]string, len(outcome))
+	for i, k := range outcome {
+		parts[i] = strconv.Itoa(k)
+	}
+	return strings.Join(parts, ",")
+}
+
+// SpecializeStats summarises what a Specialize pass did.
+type SpecializeStats struct {
+	Samples   int64 // profiled reactions whose outcome vectors were applied
+	Tests     int   // TEST vertices that received profile weight
+	Reordered int   // TEST vertices given a non-identity hot order
+}
+
+func (s SpecializeStats) String() string {
+	return fmt.Sprintf("specialize: reordered %d/%d weighted TEST vertices from %d samples",
+		s.Reordered, s.Tests, s.Samples)
+}
+
+// Specialize reorders the outcome edges of TEST vertices hottest-first
+// according to an execution profile: each observed outcome vector is
+// replayed through the graph (so edge weights reflect the correlated
+// path frequencies actually seen, not per-test marginals), and every
+// weighted vertex gets a Hot permutation placing its most frequent
+// combined outcome on the fall-through arc with colder outcomes tested
+// behind it. The pass touches layout metadata only — Children keeps
+// its semantic indexing and evaluation never consults Hot — so the
+// observable reaction function is unchanged by construction;
+// SpecializeChecked additionally discharges that claim through
+// CheckEquivalent. Identity orders are normalised to nil so an
+// unspecialized graph and a graph specialized under a uniform profile
+// generate byte-identical code.
+func (g *SGraph) Specialize(p *SpecializeProfile) (SpecializeStats, error) {
+	var st SpecializeStats
+	if p == nil || len(p.Outcomes) == 0 || len(p.TestNames) == 0 {
+		return st, nil
+	}
+	col := make(map[string]int, len(p.TestNames))
+	for i, n := range p.TestNames {
+		col[n] = i
+	}
+	// Column index per graph test, -1 when the profile never saw it.
+	colOf := make([]int, len(g.C.Tests))
+	matched := false
+	for i, t := range g.C.Tests {
+		if c, ok := col[t.Name()]; ok {
+			colOf[i] = c
+			matched = true
+		} else {
+			colOf[i] = -1
+		}
+	}
+	if !matched {
+		return st, nil
+	}
+	idOf := make(map[string]int, len(g.C.Tests))
+	for i, t := range g.C.Tests {
+		idOf[t.Name()] = i
+	}
+	// Deterministic iteration: replay outcome vectors in sorted key
+	// order so tie-breaks cannot depend on map ordering.
+	keys := make([]string, 0, len(p.Outcomes))
+	for k := range p.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	weight := make(map[*Vertex][]int64)
+	vec := make([]int, len(g.C.Tests))
+	for _, key := range keys {
+		count := p.Outcomes[key]
+		if count <= 0 {
+			continue
+		}
+		parts := strings.Split(key, ",")
+		if len(parts) != len(p.TestNames) {
+			return st, fmt.Errorf("sgraph: specialize: outcome key %q has %d entries, profile declares %d tests",
+				key, len(parts), len(p.TestNames))
+		}
+		// Project the profile vector onto this graph's test list;
+		// uncovered tests are marked unknown.
+		for i := range vec {
+			vec[i] = -1
+		}
+		ok := true
+		for i, c := range colOf {
+			if c < 0 {
+				continue
+			}
+			v, err := strconv.Atoi(parts[c])
+			if err != nil || v < 0 || v >= g.C.Tests[i].Arity() {
+				ok = false
+				break
+			}
+			vec[i] = v
+		}
+		if !ok {
+			return st, fmt.Errorf("sgraph: specialize: malformed outcome key %q", key)
+		}
+		st.Samples += count
+		// Replay the vector from BEGIN, crediting each TEST vertex's
+		// taken outcome. A test the profile does not cover ends the
+		// replay: the remainder of the path is undetermined.
+		v := g.Begin
+		steps := 0
+		for v.Kind != End {
+			if steps++; steps > len(g.Vertices)+1 {
+				return st, fmt.Errorf("sgraph: specialize: evaluation does not terminate")
+			}
+			if v.Kind != Test {
+				v = v.Next
+				continue
+			}
+			idx := 0
+			known := true
+			for _, t := range v.Tests {
+				o := vec[idOf[t.Name()]]
+				if o < 0 {
+					known = false
+					break
+				}
+				idx = idx*t.Arity() + o
+			}
+			if !known {
+				break
+			}
+			w := weight[v]
+			if w == nil {
+				w = make([]int64, v.Arity())
+				weight[v] = w
+			}
+			w[idx] += count
+			v = v.Children[idx]
+		}
+	}
+	for v, w := range weight {
+		st.Tests++
+		order := make([]int, len(w))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return w[order[a]] > w[order[b]]
+		})
+		identity := true
+		for i, k := range order {
+			if i != k {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			v.Hot = nil
+			continue
+		}
+		v.Hot = order
+		st.Reordered++
+	}
+	return st, nil
+}
+
+// SpecializeChecked runs Specialize and equivalence-gates the result:
+// the pre-pass graph is cloned, the specialized graph is re-validated
+// for well-formedness (which checks every Hot permutation) and then
+// differentially compared with CheckEquivalent over the care-set
+// outcome space. On any gate failure the hot orders are reverted and
+// the error returned, so a caller never ships an unchecked layout. An
+// outcome space too large to enumerate exhaustively counts as a pass —
+// the pass only writes advisory layout metadata, and the per-reaction
+// netfuzz differential covers the generated code.
+func (g *SGraph) SpecializeChecked(p *SpecializeProfile) (SpecializeStats, error) {
+	orig := g.Clone()
+	revert := func() {
+		for i, v := range g.Vertices {
+			v.Hot = orig.Vertices[i].Hot
+		}
+	}
+	st, err := g.Specialize(p)
+	if err != nil {
+		revert()
+		return st, err
+	}
+	if err := g.CheckWellFormed(); err != nil {
+		revert()
+		return st, fmt.Errorf("sgraph: specialize produced ill-formed graph: %w", err)
+	}
+	if err := g.CheckEquivalent(orig); err != nil && !errors.Is(err, ErrOutcomeSpaceTooLarge) {
+		revert()
+		return st, fmt.Errorf("sgraph: specialize equivalence gate: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,258 @@
+package sgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// profileFor builds a SpecializeProfile over all of c's tests with the
+// given outcome-vector counts.
+func profileFor(g *SGraph, counts map[string]int64) *SpecializeProfile {
+	names := make([]string, len(g.C.Tests))
+	for i, t := range g.C.Tests {
+		names[i] = t.Name()
+	}
+	return &SpecializeProfile{TestNames: names, Outcomes: counts}
+}
+
+// hotVertices counts TEST vertices carrying a non-nil hot order.
+func hotVertices(g *SGraph) int {
+	n := 0
+	for _, v := range g.Reachable() {
+		if v.Kind == Test && v.Hot != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSpecializeHotPath drives the pass with a profile heavily biased
+// toward one outcome vector and verifies: at least one vertex gets a
+// hot order, the hot outcome lands on the fall-through arc, the graph
+// stays well-formed and equivalent to the reference interpreter, and
+// the layout (Reachable) actually changed.
+func TestSpecializeHotPath(t *testing.T) {
+	c := simple()
+	g := buildGraph(t, c, OrderSiftAfterSupport)
+	before := g.Reachable()
+
+	// simple's tests are present_c and the predicate; bias hard toward
+	// (present=1, pred=0) — the "count up" transition.
+	counts := map[string]int64{}
+	for _, k := range []string{"0,0", "0,1", "1,0", "1,1"} {
+		counts[k] = 1
+	}
+	// Order-insensitive: find the present test's column.
+	presCol := 0
+	for i, name := range profileFor(g, nil).TestNames {
+		if strings.HasPrefix(name, "present_") {
+			presCol = i
+		}
+	}
+	hotKey := []string{"0", "0"}
+	hotKey[presCol] = "1"
+	counts[strings.Join(hotKey, ",")] = 1000
+	st, err := g.SpecializeChecked(profileFor(g, counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 1003 {
+		t.Fatalf("samples = %d, want 1003", st.Samples)
+	}
+	if st.Reordered == 0 || hotVertices(g) == 0 {
+		t.Fatalf("expected at least one reordered vertex, stats %v", st)
+	}
+	if err := g.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	checkEquiv(t, c, g, 11)
+	// The hot outcome 1 of some reordered binary vertex must be the
+	// fall-through arm.
+	for _, v := range g.Reachable() {
+		if v.Kind == Test && v.Hot != nil {
+			if v.FallIdx() != v.Hot[0] {
+				t.Fatalf("FallIdx %d disagrees with Hot[0] %d", v.FallIdx(), v.Hot[0])
+			}
+		}
+	}
+	after := g.Reachable()
+	same := len(before) == len(after)
+	if same {
+		for i := range before {
+			if before[i] != after[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("specialization reordered vertices but the layout did not change")
+	}
+}
+
+// TestSpecializeIdentityNormalizes: a profile matching the default
+// layout (outcome 0 hottest everywhere) must leave every Hot nil, so
+// unspecialized and trivially-specialized graphs generate identical
+// code.
+func TestSpecializeIdentityNormalizes(t *testing.T) {
+	g := buildGraph(t, simple(), OrderSiftAfterSupport)
+	counts := map[string]int64{"0,0": 1000, "0,1": 10, "1,0": 5, "1,1": 1}
+	// Outcome 0,0 dominating keeps outcome 0 first at the root test;
+	// deeper vertices see monotonically decreasing weights in index
+	// order too, so everything normalises to identity.
+	st, err := g.SpecializeChecked(profileFor(g, counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotVertices(g) != 0 {
+		t.Fatalf("identity hot orders must normalise to nil, got %d hot vertices (stats %v)",
+			hotVertices(g), st)
+	}
+}
+
+// TestSpecializeMalformedProfile: a corrupt outcome key errors out and
+// reverts any partial hot orders.
+func TestSpecializeMalformedProfile(t *testing.T) {
+	g := buildGraph(t, simple(), OrderSiftAfterSupport)
+	p := profileFor(g, map[string]int64{"1,0": 50, "banana": 3})
+	if _, err := g.SpecializeChecked(p); err == nil {
+		t.Fatal("malformed outcome key must fail")
+	}
+	if hotVertices(g) != 0 {
+		t.Fatal("failed specialization must leave no hot orders behind")
+	}
+	// Wrong column count likewise.
+	p = profileFor(g, map[string]int64{"1": 50})
+	if _, err := g.SpecializeChecked(p); err == nil {
+		t.Fatal("short outcome key must fail")
+	}
+}
+
+// TestSpecializeUnknownTestsIgnored: a profile from a different module
+// (no matching test names) is a no-op, not an error.
+func TestSpecializeUnknownTestsIgnored(t *testing.T) {
+	g := buildGraph(t, simple(), OrderSiftAfterSupport)
+	p := &SpecializeProfile{TestNames: []string{"present_zzz"}, Outcomes: map[string]int64{"1": 7}}
+	st, err := g.SpecializeChecked(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 0 || hotVertices(g) != 0 {
+		t.Fatalf("foreign profile must be ignored, stats %v", st)
+	}
+}
+
+// TestSpecializeSelector exercises a multi-way (selector) vertex: bias
+// toward a non-zero state and verify the graph survives the gate with
+// a reordered multi-way vertex.
+func TestSpecializeSelector(t *testing.T) {
+	c := counter()
+	g := buildGraph(t, c, OrderSiftAfterSupport)
+	names := make([]string, len(g.C.Tests))
+	selCol := -1
+	for i, tt := range g.C.Tests {
+		names[i] = tt.Name()
+		if strings.HasPrefix(tt.Name(), "sel_") {
+			selCol = i
+		}
+	}
+	if selCol < 0 {
+		t.Fatal("counter has no selector test")
+	}
+	counts := map[string]int64{}
+	// tick present, rst absent, state 3 dominates; a smattering of
+	// everything else. Column order follows g.C.Tests.
+	vec := func(pr, p, sel int) string {
+		parts := make([]string, len(names))
+		for i, n := range names {
+			switch {
+			case strings.HasPrefix(n, "present_rst"):
+				parts[i] = itoa(pr)
+			case strings.HasPrefix(n, "present_tick"):
+				parts[i] = itoa(p)
+			default:
+				parts[i] = itoa(sel)
+			}
+		}
+		return strings.Join(parts, ",")
+	}
+	counts[vec(0, 1, 3)] = 500
+	for s := 0; s < 5; s++ {
+		counts[vec(0, 1, s)] += 2
+		counts[vec(1, 0, s)] = 1
+	}
+	st, err := g.SpecializeChecked(&SpecializeProfile{TestNames: names, Outcomes: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reordered == 0 {
+		t.Fatalf("selector bias should reorder at least one vertex, stats %v", st)
+	}
+	if err := g.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	checkEquiv(t, c, g, 23)
+}
+
+func itoa(v int) string {
+	return string(rune('0' + v))
+}
+
+// TestCloneIsolation: mutating a clone's wiring and hot orders must
+// not leak into the original, and the clone starts equivalent.
+func TestCloneIsolation(t *testing.T) {
+	g := buildGraph(t, counter(), OrderSiftAfterSupport)
+	cl := g.Clone()
+	if err := cl.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckEquivalent(cl); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cl.Vertices {
+		if v.Kind == Test {
+			hot := make([]int, v.Arity())
+			for i := range hot {
+				hot[i] = v.Arity() - 1 - i
+			}
+			v.Hot = hot
+		}
+	}
+	for _, v := range g.Vertices {
+		if v.Hot != nil {
+			t.Fatal("clone mutation leaked into the original")
+		}
+	}
+}
+
+// TestCheckWellFormedRejectsBadHot: non-permutation hot orders are a
+// structural error.
+func TestCheckWellFormedRejectsBadHot(t *testing.T) {
+	g := buildGraph(t, simple(), OrderSiftAfterSupport)
+	var tv *Vertex
+	for _, v := range g.Reachable() {
+		if v.Kind == Test {
+			tv = v
+			break
+		}
+	}
+	if tv == nil {
+		t.Fatal("no TEST vertex")
+	}
+	tv.Hot = []int{0, 0}
+	if err := g.CheckWellFormed(); err == nil {
+		t.Fatal("duplicate hot entries must be rejected")
+	}
+	tv.Hot = []int{0}
+	if err := g.CheckWellFormed(); err == nil {
+		t.Fatal("short hot order must be rejected")
+	}
+	tv.Hot = []int{0, 2}
+	if err := g.CheckWellFormed(); err == nil {
+		t.Fatal("out-of-range hot entry must be rejected")
+	}
+	tv.Hot = nil
+	if err := g.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"polis/internal/cfsm"
+	"polis/internal/expr"
+	"polis/internal/profile"
 	"polis/internal/randcfsm"
 	"polis/internal/rtos"
 	"polis/internal/sim"
@@ -121,6 +123,101 @@ func BenchmarkSimThroughput(b *testing.B) {
 			})
 		})
 	}
+}
+
+// specBenchCase builds `pairs` independent scaler->limiter chains with
+// a hot-biased stimulus train (seven of eight samples double past the
+// limiter's clamp), and captures the matching execution profile with a
+// probed behavioral run.
+func specBenchCase(pairs, rounds int) (*benchCase, *profile.Profile) {
+	n := cfsm.NewNetwork("specbench")
+	var samples []*cfsm.Signal
+	for k := 0; k < pairs; k++ {
+		prefix := fmt.Sprintf("s%02d", k)
+		sample := n.NewSignal(prefix+"_sample", false)
+		mid := n.NewSignal(prefix+"_mid", false)
+		out := n.NewSignal(prefix+"_out", false)
+		sc := cfsm.New(prefix + "_scaler")
+		sc.AttachInput(sample)
+		sc.AttachOutput(mid)
+		sc.AddTransition([]cfsm.Cond{cfsm.On(sc.Present(sample), 1)},
+			sc.EmitV(mid, expr.Mul(expr.V("?"+sample.Name), expr.C(2))))
+		lim := cfsm.New(prefix + "_limiter")
+		lim.AttachInput(mid)
+		lim.AttachOutput(out)
+		pm := lim.Present(mid)
+		hi := lim.Pred(expr.Gt(expr.V("?"+mid.Name), expr.C(10)))
+		lim.AddTransition([]cfsm.Cond{cfsm.On(pm, 1), cfsm.On(hi, 1)},
+			lim.EmitV(out, expr.C(10)))
+		lim.AddTransition([]cfsm.Cond{cfsm.On(pm, 1), cfsm.On(hi, 0)},
+			lim.EmitV(out, expr.V("?"+mid.Name)))
+		if err := n.Add(sc); err != nil {
+			panic(err)
+		}
+		if err := n.Add(lim); err != nil {
+			panic(err)
+		}
+		samples = append(samples, sample)
+	}
+	var stim []sim.Stimulus
+	tnow := int64(100)
+	for round := 0; round < rounds; round++ {
+		for _, s := range samples {
+			v := int64(20 + round%5) // hot: doubles past the clamp
+			if round%8 == 0 {
+				v = 2 // cold: below the clamp
+			}
+			stim = append(stim, sim.Stimulus{Time: tnow, Signal: s, Value: v})
+			tnow += 40
+		}
+		tnow += 5000
+	}
+	bc := &benchCase{net: n, stimuli: stim, horizon: tnow + 50_000}
+	col := profile.NewCollector()
+	if _, err := sim.Run(n, append([]sim.Stimulus(nil), stim...), bc.horizon,
+		sim.Options{Cfg: rtos.DefaultConfig(), Probe: col}); err != nil {
+		panic(err)
+	}
+	return bc, col.Profile()
+}
+
+// BenchmarkSimSpecialization measures the payoff of profile-guided
+// hot-path specialization on a hot-biased cycle-exact workload: the
+// identical scenario VMExact with specialization off and on. Besides
+// wall-clock reactions/s it reports the deterministic busy
+// cycles-per-reaction of the simulated target, the number the
+// reordering is supposed to shrink.
+func BenchmarkSimSpecialization(b *testing.B) {
+	bc, prof := specBenchCase(16, 250)
+	run := func(b *testing.B, spec *profile.Profile) {
+		b.ReportAllocs()
+		var totalReact, totalBusy int64
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(bc.net, append([]sim.Stimulus(nil), bc.stimuli...), bc.horizon,
+				sim.Options{Cfg: rtos.DefaultConfig(), Mode: sim.VMExact, Specialize: spec})
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalReact += reactions(res)
+			systems := res.Systems
+			if systems == nil {
+				systems = []*rtos.System{res.System}
+			}
+			for _, sys := range systems {
+				totalBusy += sys.BusyCycles
+			}
+		}
+		secs := time.Since(start).Seconds()
+		if secs > 0 {
+			b.ReportMetric(float64(totalReact)/secs, "reactions/s")
+		}
+		if totalReact > 0 {
+			b.ReportMetric(float64(totalBusy)/float64(totalReact), "cyc/reaction")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, prof) })
 }
 
 // TestSimThroughputSpeedup is the acceptance gate of the engine

@@ -203,10 +203,13 @@ func runPartitioned(ctx context.Context, n *cfsm.Network, stimuli []Stimulus, un
 	return out, nil
 }
 
-// mergeTraces interleaves per-island traces into one timeline. Each
-// input is sorted by time already; ties across islands resolve in
-// island order, so the merge is deterministic regardless of how many
-// workers produced the inputs.
+// mergeTraces interleaves per-island traces into one timeline with a
+// k-way heap merge: O(events × log islands) instead of the per-event
+// linear scan over all islands it replaces. Each input is sorted by
+// time already; ties across islands resolve in island order (the heap
+// key is (time, island index)), so the merge is deterministic
+// regardless of how many workers produced the inputs and byte-for-byte
+// identical to the old scan's first-island-wins tie-break.
 func mergeTraces(traces [][]rtos.TraceEvent) []rtos.TraceEvent {
 	total := 0
 	for _, t := range traces {
@@ -214,20 +217,62 @@ func mergeTraces(traces [][]rtos.TraceEvent) []rtos.TraceEvent {
 	}
 	out := make([]rtos.TraceEvent, 0, total)
 	pos := make([]int, len(traces))
-	for len(out) < total {
-		best := -1
-		var bestTime int64
-		for i, t := range traces {
-			if pos[i] >= len(t) {
-				continue
+	// heap holds one island index per non-exhausted trace, ordered by
+	// the island's next event time, island index breaking ties.
+	heap := make([]int, 0, len(traces))
+	less := func(a, b int) bool {
+		ta, tb := traces[a][pos[a]].Time, traces[b][pos[b]].Time
+		if ta != tb {
+			return ta < tb
+		}
+		return a < b
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
 			}
-			if best < 0 || t[pos[i]].Time < bestTime {
-				best = i
-				bestTime = t[pos[i]].Time
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r < len(heap) && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for i, t := range traces {
+		if len(t) > 0 {
+			heap = append(heap, i)
+			up(len(heap) - 1)
+		}
+	}
+	for len(heap) > 0 {
+		i := heap[0]
+		out = append(out, traces[i][pos[i]])
+		pos[i]++
+		if pos[i] < len(traces[i]) {
+			down(0)
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+			if len(heap) > 0 {
+				down(0)
 			}
 		}
-		out = append(out, traces[best][pos[best]])
-		pos[best]++
 	}
 	return out
 }

@@ -26,6 +26,7 @@ import (
 	"polis/internal/cfsm"
 	"polis/internal/codegen"
 	"polis/internal/estimate"
+	"polis/internal/profile"
 	"polis/internal/rtos"
 	"polis/internal/sgraph"
 	"polis/internal/vm"
@@ -84,6 +85,14 @@ type Options struct {
 	// checks then exercise reduced object code against the reference
 	// interpreter.
 	Reduce bool
+	// Specialize, when non-nil, applies profile-guided hot-path
+	// specialization to every task graph (after reduction, before
+	// code generation): each module with evidence in the profile gets
+	// its TEST outcome edges reordered hottest-first through
+	// sgraph.SpecializeChecked, so the equivalence gate runs on every
+	// specialized graph. Behavioral runs also report the
+	// profile-weighted expected cycles through the estimator.
+	Specialize *profile.Profile
 	// Probe, when non-nil, observes every delivery and execution in
 	// the underlying RTOS model (see rtos.Probe). With Partition it
 	// observes all islands and forces them to run serially, since a
@@ -279,6 +288,13 @@ func BuildVMTask(m *cfsm.CFSM, opt Options) (*rtos.Task, int64, int64, error) {
 	if opt.Reduce {
 		g.Reduce(sgraph.ReduceOptions{})
 	}
+	if opt.Specialize != nil {
+		if sp := opt.Specialize.Module(m.Name).Spec(); sp != nil {
+			if _, err := g.SpecializeChecked(sp); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+	}
 	sigs := codegen.NewSignalMap(m)
 	prog, err := codegen.Assemble(g, sigs, opt.Codegen)
 	if err != nil {
@@ -376,7 +392,16 @@ func runSingle(ctx context.Context, n *cfsm.Network, stimuli []Stimulus, until i
 			if opt.Reduce {
 				g.Reduce(sgraph.ReduceOptions{})
 			}
-			est := estimate.EstimateSGraph(g, params, estimate.Options{Codegen: opt.Codegen})
+			estOpts := estimate.Options{Codegen: opt.Codegen}
+			if opt.Specialize != nil {
+				if sp := opt.Specialize.Module(m.Name).Spec(); sp != nil {
+					if _, err := g.SpecializeChecked(sp); err != nil {
+						return nil, err
+					}
+					estOpts.ScenarioProfile = sp
+				}
+			}
+			est := estimate.EstimateSGraph(g, params, estOpts)
 			res.CodeBytes += est.CodeBytes
 			res.DataBytes += est.DataBytes
 			return rtos.NewBehavioralTask(m, func() int64 { return est.MaxCycles }), nil

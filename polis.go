@@ -29,6 +29,7 @@ import (
 	"polis/internal/esterel"
 	"polis/internal/estimate"
 	"polis/internal/pipeline"
+	"polis/internal/profile"
 	"polis/internal/rtos"
 	"polis/internal/sgraph"
 	"polis/internal/vm"
@@ -56,6 +57,13 @@ type Options struct {
 	// ReduceOpt tunes the reduction passes; the zero value runs all
 	// passes with default limits.
 	ReduceOpt sgraph.ReduceOptions
+	// Profile, when non-nil, enables profile-guided specialization:
+	// TEST outcome edges of each covered module are reordered so the
+	// observed hot path becomes the fall-through path, gated by an
+	// exhaustive equivalence check, and the estimate additionally
+	// reports profile-weighted expected cycles. Capture profiles with
+	// internal/profile's Collector (e.g. cfsmsim -profile-out).
+	Profile *profile.Profile
 }
 
 func (o *Options) fill() {
@@ -74,6 +82,7 @@ func (o Options) pipelineOptions() pipeline.Options {
 		UseFalsePaths: o.UseFalsePaths,
 		Reduce:        o.Reduce,
 		ReduceOpt:     o.ReduceOpt,
+		Profile:       o.Profile,
 	}
 }
 
