@@ -2,8 +2,11 @@
 # Benchmark harness for the BDD kernel / synthesis pipeline and the
 # co-simulation engine. Each suite keeps its own dated history file:
 #
-#   suite "bdd"  ->  BENCH_bdd.json   (synthesis + BDD kernel)
-#   suite "sim"  ->  BENCH_sim.json   (co-simulation throughput)
+#   suite "bdd"   ->  BENCH_bdd.json   (synthesis + BDD kernel)
+#   suite "sim"   ->  BENCH_sim.json   (co-simulation throughput)
+#   suite "synth" ->  BENCH_synth.json (sharded synthesis at scale)
+#
+# BENCH_SUITES overrides the suite list (e.g. BENCH_SUITES=synth).
 #
 #   ./bench.sh           smoke mode: run the key benchmarks once
 #                        (-benchtime=1x) so CI catches bit-rot cheaply
@@ -31,7 +34,7 @@
 # are absorbed as a run labelled "legacy" on the next -full.
 set -eu
 
-SUITES="bdd sim"
+SUITES="${BENCH_SUITES:-bdd sim synth}"
 
 # run_benches SUITE honors an optional BENCHTIME override (any
 # -benchtime value, e.g. "10ms" or "1x") so CI can bound a run's cost.
@@ -45,6 +48,13 @@ run_benches() {
     sim)
         go test -run '^$' -bench 'BenchmarkSimThroughput|BenchmarkSimSpecialization' \
             -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} ./internal/sim/
+        ;;
+    synth)
+        # The 1000-module cases take tens of seconds per iteration on
+        # the 1-CPU CI box; -benchtime=1x (the smoke default) keeps
+        # them bounded.
+        go test -run '^$' -bench 'BenchmarkShardSynthesize' -timeout 30m \
+            -benchmem ${BENCHTIME:+-benchtime="$BENCHTIME"} ./internal/shard/
         ;;
     esac
 }

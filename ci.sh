@@ -10,8 +10,11 @@
 # profile and re-checks the hot-path-reordered object code against the
 # reference interpreter), a polisd service
 # end-to-end smoke under the race detector (ephemeral port, warm-cache
-# second pass, /stats, SIGTERM drain), and a single-iteration
-# benchmark smoke so the harness can't bit-rot.
+# second pass, /stats, SIGTERM drain), a multi-process sharded
+# synthesis smoke (two shard-worker processes sharing one disk cache
+# as the shuffle layer, warm second pass, output byte-identical to the
+# unsharded run), and a single-iteration benchmark smoke so the
+# harness can't bit-rot.
 set -eux
 
 go vet ./...
@@ -50,13 +53,71 @@ grep -q '^drained$' "$tmp/out"
 trap - EXIT
 rm -rf "$tmp"
 
+# Sharded map-reduce smoke: two shard-worker OS processes share one
+# on-disk cache directory as the shuffle layer. The cold pass misses
+# for all 3 modules, the warm pass is served entirely from the shared
+# disk cache, and the non-stats output is byte-identical to the
+# unsharded run.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/polisc" ./cmd/polisc
+cat >"$tmp/net.strl" <<'EOF'
+module divider:
+input tick;
+output half;
+var odd : integer in
+loop
+  await tick;
+  if odd = 0 then odd := 1;
+  else odd := 0; emit half;
+  end if
+end loop
+end var
+end module
+
+module toggler:
+input half;
+output led : integer;
+var on : integer in
+loop
+  await half;
+  if on = 0 then on := 1; else on := 0; end if
+  emit led(on);
+end loop
+end var
+end module
+
+module monitor:
+input led : integer;
+output alarm;
+var seen : integer in
+loop
+  await led;
+  if seen = 3 then seen := 0; emit alarm;
+  else seen := seen + 1;
+  end if
+end loop
+end var
+end module
+EOF
+"$tmp/polisc" "$tmp/net.strl" >"$tmp/plain"
+"$tmp/polisc" -shards 2 -shard-procs -cache "$tmp/cache" -stats "$tmp/net.strl" | tee "$tmp/cold"
+grep -q 'shard: 2 shard(s) (process), 3 module(s), miss 3 | mem 0 | disk 0 | dedup 0' "$tmp/cold"
+"$tmp/polisc" -shards 2 -shard-procs -cache "$tmp/cache" -stats "$tmp/net.strl" | tee "$tmp/warm"
+grep -q 'shard: 2 shard(s) (process), 3 module(s), miss 0 | mem 0 | disk 3 | dedup 0' "$tmp/warm"
+"$tmp/polisc" -shards 2 -shard-procs -cache "$tmp/cache" "$tmp/net.strl" >"$tmp/sharded"
+diff "$tmp/plain" "$tmp/sharded"
+trap - EXIT
+rm -rf "$tmp"
+
 ./bench.sh
 
-# Bounded perf-regression smoke: short-benchtime timings for both
-# suites (bdd synthesis, sim throughput) compared to their last
-# recorded -full runs, failing only on order-of-magnitude blowups
-# (the generous threshold absorbs shared-runner noise; the real
-# measurement lives in bench.sh -full / -compare).
-if [ -f BENCH_bdd.json ] || [ -f BENCH_sim.json ]; then
+# Bounded perf-regression smoke: short-benchtime timings for every
+# suite (bdd synthesis, sim throughput, sharded synthesis at scale)
+# compared to their last recorded -full runs, failing only on
+# order-of-magnitude blowups (the generous threshold absorbs
+# shared-runner noise; the real measurement lives in bench.sh -full /
+# -compare).
+if [ -f BENCH_bdd.json ] || [ -f BENCH_sim.json ] || [ -f BENCH_synth.json ]; then
     BENCHTIME=10ms ./bench.sh -compare -fail-over 400
 fi

@@ -7,9 +7,11 @@
 //
 //	polisc [-target hc11|r3k] [-order default|naive|inputs-first]
 //	       [-j N] [-cache dir] [-stats] [-reduce]
+//	       [-shards N] [-shard-strategy hash|size] [-shard-procs]
 //	       [-profile prof.json -specialize]
 //	       [-c] [-asm] [-dot] [-optimize-copies] [-o dir] [file.strl]
 //	polisc fuzz [-seed N] [-runs N] [-config "k=v,..."]
+//	polisc shard-worker   (internal: exec'd by -shard-procs)
 //
 // -profile loads an execution profile captured by cfsmsim
 // -profile-out; with -specialize the synthesis reorders each covered
@@ -32,13 +34,26 @@
 // order regardless of the worker count. -cache names a directory used
 // as a content-addressed artifact cache so repeated runs over
 // unchanged modules are instant; -stats prints the pipeline's
-// per-stage timing, BDD and cache-counter report. With no file, the
+// per-stage timing, BDD and cache-counter report.
+//
+// -shards N routes synthesis through the map-reduce driver
+// (internal/shard): modules are partitioned into N deterministic
+// shards (-shard-strategy hash|size), mapped through the shared
+// artifact cache, and reduced back into source order — output is
+// byte-identical to an unsharded run for any shard count. With
+// -shard-procs each shard runs as a separate `polisc shard-worker`
+// process and the -cache directory becomes the shuffle layer the
+// workers publish into (a temporary directory is used when -cache is
+// not given); the reducer fetches every artifact back from it by
+// fingerprint. -stats adds the per-shard wall-time and miss|mem|disk|
+// dedup attribution lines to the report. With no file, the
 // paper's Fig. 1 module is synthesized as a demo. With -o, the
 // generated C sources (one per module, plus polis_rtos.h and the RTOS)
 // are written into the given directory.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +69,7 @@ import (
 	"polis/internal/profile"
 	"polis/internal/rtos"
 	"polis/internal/sgraph"
+	"polis/internal/shard"
 	"polis/internal/vm"
 )
 
@@ -82,6 +98,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "fuzz" {
 		return runFuzz(args[1:], stdout, stderr)
 	}
+	if len(args) > 0 && args[0] == "shard-worker" {
+		return runShardWorker(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("polisc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	target := fs.String("target", "hc11", "cost profile: hc11 or r3k")
@@ -98,6 +117,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print the pipeline statistics report")
 	profPath := fs.String("profile", "", "execution profile JSON (from cfsmsim -profile-out)")
 	specialize := fs.Bool("specialize", false, "reorder TEST outcomes hot-path-first using -profile")
+	shards := fs.Int("shards", 0, "partition modules into N map-reduce shards (0 = off)")
+	shardStrat := fs.String("shard-strategy", "hash", "shard partitioner: hash or size")
+	shardProcs := fs.Bool("shard-procs", false, "run each shard as a separate shard-worker process")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -162,13 +184,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, err)
 	}
 	col := pipeline.NewCollector()
-	arts, err := polis.SynthesizeNetwork(net, opt, pipeline.Config{
-		Jobs:  *jobs,
-		Cache: cache,
-		Trace: col,
-	})
-	if err != nil {
-		return fail(stderr, err)
+	var arts []*pipeline.Artifact
+	var shardRep *shard.Report
+	if *shards != 0 || *shardProcs {
+		strat, err := shard.ParseStrategy(*shardStrat)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		sopt := shard.Options{
+			Shards:   *shards,
+			Strategy: strat,
+			Pipeline: opt.Pipeline(),
+			CacheDir: *cacheDir,
+		}
+		if *shardProcs {
+			// Process mode needs an on-disk shuffle layer; fall back to
+			// a run-scoped temporary directory when -cache is not given.
+			if sopt.CacheDir == "" {
+				tmp, err := os.MkdirTemp("", "polisc-shard-*")
+				if err != nil {
+					return fail(stderr, err)
+				}
+				defer os.RemoveAll(tmp)
+				sopt.CacheDir = tmp
+			}
+			exe, err := os.Executable()
+			if err != nil {
+				return fail(stderr, err)
+			}
+			shardRep, err = shard.RunProcs(context.Background(), net, sopt, []string{exe, "shard-worker"})
+			if err != nil {
+				return fail(stderr, err)
+			}
+		} else {
+			sopt.Cache = cache
+			shardRep, err = shard.Run(context.Background(), net, sopt)
+			if err != nil {
+				return fail(stderr, err)
+			}
+		}
+		arts = shardRep.Artifacts
+	} else {
+		arts, err = polis.SynthesizeNetwork(net, opt, pipeline.Config{
+			Jobs:  *jobs,
+			Cache: cache,
+			Trace: col,
+		})
+		if err != nil {
+			return fail(stderr, err)
+		}
 	}
 
 	var sources []namedSource
@@ -217,7 +281,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *stats {
-		fmt.Fprint(stdout, col.Report())
+		// Per-shard wall times vary run to run, so the shard summary
+		// only prints here: without -stats the output stays
+		// byte-identical across shard counts and modes.
+		if shardRep != nil {
+			fmt.Fprint(stdout, shardRep.Summary())
+			fmt.Fprint(stdout, shardRep.Collector.Report())
+		} else {
+			fmt.Fprint(stdout, col.Report())
+		}
+	}
+	return 0
+}
+
+// runShardWorker is the map side of process-mode sharding: it decodes
+// one shard job from stdin, synthesizes the job's modules through the
+// shared on-disk cache (the shuffle layer), and streams one NDJSON
+// result per module on stdout. It is exec'd by
+// `polisc -shards N -shard-procs`; see internal/shard for the
+// protocol.
+func runShardWorker(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 0 {
+		return fail(stderr, fmt.Errorf("shard-worker takes no arguments (job comes on stdin)"))
+	}
+	if err := shard.Worker(os.Stdin, stdout); err != nil {
+		return fail(stderr, fmt.Errorf("shard-worker: %w", err))
 	}
 	return 0
 }

@@ -8,6 +8,16 @@ import (
 	"testing"
 )
 
+// TestMain lets the test binary stand in for the real polisc when the
+// process-mode shard driver re-execs os.Executable() as
+// `polisc shard-worker`.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "shard-worker" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
 // threeModuleProgram is a 3-module network: divider halves the tick
 // rate, toggler flips an LED on each half-tick, and monitor counts
 // LED changes, alarming every fourth one.
@@ -171,6 +181,54 @@ func keys(m map[string]string) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+// TestShardDeterminism: the sharded drivers — one shard, eight shards,
+// both strategies, and two worker processes — all produce output and
+// generated sources byte-identical to the plain pipeline.
+func TestShardDeterminism(t *testing.T) {
+	base, baseFiles := runPolisc(t, "-j", "2")
+	for _, extra := range [][]string{
+		{"-shards", "1"},
+		{"-shards", "8"},
+		{"-shards", "8", "-shard-strategy", "size"},
+		{"-shards", "2", "-shard-procs"},
+	} {
+		out, files := runPolisc(t, extra...)
+		if out != base {
+			t.Errorf("%v: stdout differs from unsharded run:\n--- base ---\n%s\n--- sharded ---\n%s", extra, base, out)
+		}
+		for name, text := range baseFiles {
+			if files[name] != text {
+				t.Errorf("%v: generated %s differs from unsharded run", extra, name)
+			}
+		}
+	}
+}
+
+// TestShardStats: -stats on a sharded run prints the shard summary
+// with merged attribution, and a second process-mode run over the same
+// cache directory is served from disk.
+func TestShardStats(t *testing.T) {
+	cacheDir := t.TempDir()
+	cold, _ := runPolisc(t, "-shards", "2", "-shard-procs", "-cache", cacheDir, "-stats")
+	for _, want := range []string{
+		"shard: 2 shard(s) (process), 3 module(s)",
+		"miss 3 | mem 0 | disk 0 | dedup 0",
+	} {
+		if !strings.Contains(cold, want) {
+			t.Errorf("cold shard stats missing %q in:\n%s", want, cold)
+		}
+	}
+	warm, _ := runPolisc(t, "-shards", "2", "-shard-procs", "-cache", cacheDir, "-stats")
+	if !strings.Contains(warm, "miss 0 | mem 0 | disk 3 | dedup 0") {
+		t.Errorf("warm shard run should be served from the shared disk cache:\n%s", warm)
+	}
+
+	inproc, _ := runPolisc(t, "-shards", "2", "-stats")
+	if !strings.Contains(inproc, "shard: 2 shard(s) (in-process), 3 module(s)") {
+		t.Errorf("in-process shard stats missing summary in:\n%s", inproc)
+	}
 }
 
 // TestReduceFlag drives the -reduce path end-to-end: the synthesized

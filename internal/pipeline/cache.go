@@ -307,11 +307,30 @@ func (c *Cache) Put(key string, a *Artifact) {
 	if err != nil {
 		return
 	}
-	tmp := c.path(key) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Publish through a uniquely-named temp file in the cache dir.
+	// A fixed per-key temp path would let two same-key writers
+	// (goroutines, or two processes sharing the directory as a
+	// shard shuffle layer) interleave O_TRUNC opens and writes, so
+	// one of them could rename a torn file into place. CreateTemp
+	// gives every writer its own inode; whichever rename lands last
+	// wins with a complete file either way.
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
 		return
 	}
-	_ = os.Rename(tmp, c.path(key)) // atomic publish; best-effort
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	_ = os.Chmod(tmp.Name(), 0o644) // CreateTemp defaults to 0600
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name()) // best-effort publish, never an error
+	}
 }
 
 // Len returns the number of in-memory entries (for tests and stats).

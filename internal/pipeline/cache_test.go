@@ -1,8 +1,12 @@
 package pipeline
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"polis/internal/cfsm"
@@ -237,5 +241,123 @@ func TestDiskCacheTruncatedMidWrite(t *testing.T) {
 	}
 	if st := c3.Stats(); st.CorruptMisses != 0 {
 		t.Errorf("repaired entry still counted corrupt: %+v", st)
+	}
+}
+
+// TestCachePublishRace: several Cache instances sharing one directory
+// (as shard-worker processes sharing the shuffle layer do) race Put
+// on the same fingerprint while a reader polls the published path.
+// Every state the published file is ever observed in must be one of
+// the complete candidate serialisations — never a torn mix, never a
+// truncated prefix. The fixed per-key ".tmp" publish path this pins
+// against shares one temp inode between the writers, so a rename can
+// publish a file another writer is still truncating or writing; the
+// multi-megabyte payloads keep each write long enough to be preempted
+// mid-syscall, which is when the reader catches the torn state.
+func TestCachePublishRace(t *testing.T) {
+	dir := t.TempDir()
+	key := strings.Repeat("ab", 32) // fingerprint-shaped, path-safe
+	const writers = 4
+	const putsPerWriter = 40
+
+	caches := make([]*Cache, writers)
+	arts := make([]*Artifact, writers)
+	goods := make([][]byte, writers)
+	for i := range caches {
+		c, err := NewCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[i] = c
+		arts[i] = &Artifact{Module: "race", C: strings.Repeat(string(rune('A'+i)), 4<<20)}
+		// The only valid on-disk states are the exact serialisations Put
+		// produces for the candidates; byte equality keeps the reader's
+		// validation loop fast enough to sample mid-write states.
+		goods[i], err = json.Marshal(diskEntry{Schema: diskSchema, Module: "race", C: arts[i].C})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := func(data []byte) bool {
+		for _, g := range goods {
+			if bytes.Equal(data, g) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// The reader races the writers: with an atomic publish it can only
+	// ever observe no file or a complete artifact.
+	published := filepath.Join(dir, key+".json")
+	stop := make(chan struct{})
+	torn := make(chan int, 1)
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			data, err := os.ReadFile(published)
+			if err == nil && !valid(data) {
+				select {
+				case torn <- len(data):
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < putsPerWriter; n++ {
+				caches[i].Put(key, arts[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	select {
+	case n := <-torn:
+		t.Fatalf("reader observed a torn published artifact (%d bytes)", n)
+	default:
+	}
+	data, err := os.ReadFile(published)
+	if err != nil {
+		t.Fatalf("published file unreadable: %v", err)
+	}
+	if !valid(data) {
+		t.Fatalf("torn artifact at rest (%d bytes)", len(data))
+	}
+
+	// A fresh process round-trips whichever writer won, cleanly.
+	c3, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, fromDisk, ok := c3.Get(key)
+	if !ok || !fromDisk {
+		t.Fatalf("published artifact must hit from disk: ok=%v fromDisk=%v", ok, fromDisk)
+	}
+	found := false
+	for _, art := range arts {
+		if a.C == art.C {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("published artifact matches no writer")
+	}
+	if st := c3.Stats(); st.CorruptMisses != 0 {
+		t.Errorf("publish race left a corrupt entry: %+v", st)
 	}
 }

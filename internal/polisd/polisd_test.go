@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -102,7 +104,8 @@ func postSynth(t *testing.T, url string, req SynthRequest) (*SynthResponse, int)
 	}
 	defer hr.Body.Close()
 	var resp SynthResponse
-	if hr.StatusCode == http.StatusOK || hr.StatusCode == http.StatusGatewayTimeout {
+	if hr.StatusCode == http.StatusOK || hr.StatusCode == http.StatusGatewayTimeout ||
+		hr.StatusCode == http.StatusMultiStatus {
 		if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
 			t.Fatalf("status %d: bad body: %v", hr.StatusCode, err)
 		}
@@ -481,5 +484,130 @@ func TestLoadReportString(t *testing.T) {
 	}
 	if (&LoadReport{Status: map[int]int{}}).String() == "" {
 		t.Error("empty zero report")
+	}
+}
+
+// badWireNetwork is a two-module network whose second module decodes
+// and validates but fails deterministically in codegen: its assign
+// references a variable no symbol table defines.
+func badWireNetwork() *WireNetwork {
+	return &WireNetwork{
+		Name: "partial",
+		Signals: []WireSignal{
+			{Name: "a", Pure: true},
+			{Name: "b", Pure: true},
+			{Name: "c", Pure: true},
+		},
+		Machines: []WireMachine{
+			{
+				Name:    "good",
+				Inputs:  []string{"a"},
+				Outputs: []string{"b"},
+				Tests:   []WireTest{{Kind: "present", Signal: "a"}},
+				Actions: []WireAction{{Kind: "emit", Signal: "b"}},
+				Trans:   []WireTrans{{Guard: []WireCond{{Test: 0, Val: 1}}, Actions: []int{0}}},
+			},
+			{
+				Name:    "bad",
+				Inputs:  []string{"c"},
+				States:  []WireState{{Name: "s0"}},
+				Tests:   []WireTest{{Kind: "present", Signal: "c"}},
+				Actions: []WireAction{{Kind: "assign", Var: "s0", Expr: &WireExpr{Ref: "no_such_var"}}},
+				Trans:   []WireTrans{{Guard: []WireCond{{Test: 0, Val: 1}}, Actions: []int{0}}},
+			},
+		},
+	}
+}
+
+// TestAggregatePartialSuccess pins the aggregate path's partial-success
+// contract: module errors with no deadline involved return 207
+// Multi-Status (not 200), with the healthy module's result intact and
+// the failure attributed in the summary.
+func TestAggregatePartialSuccess(t *testing.T) {
+	_, hs := testServer(t, Config{Workers: 2})
+	resp, code := postSynth(t, hs.URL, SynthRequest{Network: badWireNetwork()})
+	if code != http.StatusMultiStatus {
+		t.Fatalf("status %d, want %d (partial success must not read as full success)", code, http.StatusMultiStatus)
+	}
+	if resp.Errors != 1 || !strings.Contains(resp.Error, "bad") {
+		t.Fatalf("summary %+v does not attribute the failing module", resp.SynthSummary)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(resp.Results))
+	}
+	for _, res := range resp.Results {
+		switch res.Module {
+		case "good":
+			if res.Error != "" || res.CodeSize == 0 {
+				t.Errorf("healthy module damaged by the failing one: %+v", res)
+			}
+		case "bad":
+			if !strings.Contains(res.Error, "unknown variable") {
+				t.Errorf("bad module error %q, want the codegen unknown-variable failure", res.Error)
+			}
+		}
+	}
+}
+
+// failAfterWriter is an http.ResponseWriter whose connection "drops"
+// after limit successful writes: every later write fails the way a
+// hung-up streaming client's socket does.
+type failAfterWriter struct {
+	hdr    http.Header
+	writes int
+	limit  int
+}
+
+func (w *failAfterWriter) Header() http.Header  { return w.hdr }
+func (w *failAfterWriter) WriteHeader(code int) {}
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.limit {
+		return 0, errors.New("write tcp: broken pipe")
+	}
+	return len(p), nil
+}
+
+// TestStreamClientGone: a streaming client that hangs up mid-response
+// is detected on the next result write; the server stops writing
+// (no further results, no trailer), cancels the request's remaining
+// module work, counts the event in /stats, and does not count the
+// request as served OK or the induced cancellations as module errors.
+// The broken connection is simulated with a deterministic failing
+// writer: a real socket close races against synthesis speed.
+func TestStreamClientGone(t *testing.T) {
+	s, hs := testServer(t, Config{Workers: 1, DefaultDeadline: time.Minute})
+	wire, _ := testNetwork(t, 77, 8)
+	body, _ := json.Marshal(&SynthRequest{Network: wire})
+
+	req := httptest.NewRequest(http.MethodPost, "/synthesize", bytes.NewReader(body))
+	w := &failAfterWriter{hdr: make(http.Header), limit: 3}
+	s.Handler().ServeHTTP(w, req)
+
+	if w.writes != w.limit+1 {
+		t.Errorf("%d writes; want exactly %d (3 results, 1 failed attempt, then silence)", w.writes, w.limit+1)
+	}
+	if got := s.clientGone.Load(); got != 1 {
+		t.Errorf("clientGone = %d, want 1", got)
+	}
+	if got := s.ok.Load(); got != 0 {
+		t.Errorf("request counted as served OK (%d) though nobody read it", got)
+	}
+	if got := s.modErrs.Load(); got != 0 {
+		t.Errorf("%d module errors counted for cancellations the server itself induced", got)
+	}
+
+	// The counter is exported through /stats.
+	sr, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ClientGone != 1 {
+		t.Errorf("stats client_gone = %d, want 1", st.ClientGone)
 	}
 }

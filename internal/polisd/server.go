@@ -117,6 +117,10 @@ type Stats struct {
 	Rejected429 int64               `json:"rejected_429"`
 	Rejected503 int64               `json:"rejected_503"`
 	Deadline504 int64               `json:"deadline_504"`
+	// ClientGone counts streaming requests whose client hung up
+	// mid-stream: the server cancels the request's outstanding module
+	// work and stops writing instead of synthesizing for nobody.
+	ClientGone int64 `json:"client_gone"`
 	Modules     map[string]int64    `json:"modules"` // by cache outcome
 	ModuleErrs  int64               `json:"module_errors"`
 	Pending     int64               `json:"pending"` // admitted in-flight modules
@@ -171,6 +175,7 @@ type Server struct {
 
 	requests, ok, badReq, rej429, rej503, ddl504 atomic.Int64
 	outMiss, outMem, outDisk, outDedup, modErrs  atomic.Int64
+	clientGone                                   atomic.Int64
 }
 
 // New builds a Server and starts its worker pool.
@@ -433,8 +438,16 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc = json.NewEncoder(w)
 	}
+	clientGone := false
+	written := 0
 	for i := 0; i < n; i++ {
 		res := <-results
+		if clientGone {
+			// Keep draining so the per-module goroutines exit, but the
+			// results are moot: nobody is listening, and the errors the
+			// cancellation induced are not module failures.
+			continue
+		}
 		switch res.Error {
 		case "":
 			switch res.Cache {
@@ -458,7 +471,17 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			s.countOutcome(outcomeFromString(res.Cache))
 		}
 		if enc != nil {
-			enc.Encode(res)
+			if err := enc.Encode(res); err != nil {
+				// The write failed: the client hung up mid-stream.
+				// Cancel this request's outstanding module work (warm
+				// cache entries and other requests' flights are
+				// unaffected) and stop flushing.
+				clientGone = true
+				s.clientGone.Add(1)
+				cancel()
+				continue
+			}
+			written++
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -477,6 +500,23 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		if sum.Error == "" {
 			sum.Error = "deadline exceeded"
 		}
+	} else if sum.Errors > 0 {
+		// Partial success: some modules failed on their own, with no
+		// deadline involved. The aggregate response says so with 207
+		// Multi-Status — per-module errors are in Results and the
+		// summary's Errors/Error fields — so callers checking only the
+		// status line cannot mistake it for full success. (The
+		// streaming path has already committed its status with the
+		// first result line; its trailer carries the same fields
+		// in-band.)
+		status = http.StatusMultiStatus
+	}
+	if clientGone {
+		// Nothing more to write, and the "errors" are our own
+		// cancellation: don't send a trailer, don't count the request
+		// as served.
+		s.cfg.Logf("synthesize net=%s modules=%d client_gone after %d result(s)", net.Name, n, written)
+		return
 	}
 	if enc != nil {
 		// Streaming: the status line went out with the first result;
@@ -517,6 +557,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected429: s.rej429.Load(),
 		Rejected503: s.rej503.Load(),
 		Deadline504: s.ddl504.Load(),
+		ClientGone:  s.clientGone.Load(),
 		Modules: map[string]int64{
 			"miss":  s.outMiss.Load(),
 			"mem":   s.outMem.Load(),

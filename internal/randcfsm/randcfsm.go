@@ -8,6 +8,7 @@ package randcfsm
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"polis/internal/cfsm"
@@ -35,6 +36,38 @@ func DefaultConfig() Config {
 		MaxTransitions: 8,
 		ValueRange:     5,
 	}
+}
+
+// Scaled returns DefaultConfig with every structural bound multiplied
+// by factor (clamped to >= 1). It is the per-module cost knob of the
+// randcfsm-driven synthesis benchmarks: NewNetwork's n scales module
+// count, Scaled grows each module's test/action/transition pools so
+// synthesis cost per module rises too.
+func Scaled(factor int) Config {
+	if factor < 1 {
+		factor = 1
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInputs *= factor
+	cfg.MaxOutputs *= factor
+	cfg.MaxControlVars *= factor
+	cfg.MaxDataVars *= factor
+	cfg.MaxTransitions *= factor
+	cfg.ValueRange *= int64(factor)
+	return cfg
+}
+
+// nameWidth is the zero-padding width for machine names in an n-module
+// network: wide enough for n-1, never narrower than the historical 2,
+// so networks of up to 100 modules keep their m00..m99 names (and
+// therefore their fingerprints) byte-identical across versions while
+// larger benchmarks (m000...) stay uniformly padded.
+func nameWidth(n int) int {
+	w := len(strconv.Itoa(n - 1))
+	if w < 2 {
+		w = 2
+	}
+	return w
 }
 
 // Machine bundles a generated CFSM with handles the checker needs.
@@ -90,9 +123,10 @@ func newInNetwork(r *rand.Rand, net *cfsm.Network, name string, cfg Config,
 // (named m00, m01, ...) for parallel-synthesis benchmarks.
 func NewNetwork(r *rand.Rand, n int, cfg Config) (*cfsm.Network, []*Machine, error) {
 	net := cfsm.NewNetwork(fmt.Sprintf("randnet%d", n))
+	w := nameWidth(n)
 	machines := make([]*Machine, 0, n)
 	for i := 0; i < n; i++ {
-		m, err := NewInNetwork(r, net, fmt.Sprintf("m%02d", i), cfg)
+		m, err := NewInNetwork(r, net, fmt.Sprintf("m%0*d", w, i), cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -320,6 +354,7 @@ func NewTopologyNetwork(r *rand.Rand, n int, cfg Config, topo Topology) (*cfsm.N
 		return NewNetwork(r, n, cfg)
 	}
 	net := cfsm.NewNetwork(fmt.Sprintf("randnet%d%s", n, topo))
+	w := nameWidth(n)
 	// One link output per machine (the chain's last machine has none);
 	// pure or valued at random so both event flavours cross channels.
 	links := make([]*cfsm.Signal, n)
@@ -327,7 +362,7 @@ func NewTopologyNetwork(r *rand.Rand, n int, cfg Config, topo Topology) (*cfsm.N
 		if topo == TopoChain && i == n-1 {
 			break
 		}
-		links[i] = net.NewSignal(fmt.Sprintf("m%02d_lnk", i), r.Intn(2) == 0)
+		links[i] = net.NewSignal(fmt.Sprintf("m%0*d_lnk", w, i), r.Intn(2) == 0)
 	}
 	machines := make([]*Machine, 0, n)
 	for i := 0; i < n; i++ {
@@ -353,7 +388,7 @@ func NewTopologyNetwork(r *rand.Rand, n int, cfg Config, topo Topology) (*cfsm.N
 			}
 			extraOut = append(extraOut, links[i])
 		}
-		m, err := newInNetwork(r, net, fmt.Sprintf("m%02d", i), cfg, extraIn, extraOut)
+		m, err := newInNetwork(r, net, fmt.Sprintf("m%0*d", w, i), cfg, extraIn, extraOut)
 		if err != nil {
 			return nil, nil, err
 		}

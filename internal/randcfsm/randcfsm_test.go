@@ -54,3 +54,55 @@ func TestMutateDeterministic(t *testing.T) {
 		t.Error("identical seeds produced different mutations")
 	}
 }
+
+// TestScaledAndNaming: Scaled multiplies every structural bound, and
+// machine-name padding widens with the module count without renaming
+// the historical small networks.
+func TestScaledAndNaming(t *testing.T) {
+	d := DefaultConfig()
+	s := Scaled(4)
+	if s.MaxInputs != 4*d.MaxInputs || s.MaxTransitions != 4*d.MaxTransitions ||
+		s.ValueRange != 4*d.ValueRange {
+		t.Errorf("Scaled(4) = %+v, want 4x %+v", s, d)
+	}
+	if Scaled(0) != d {
+		t.Errorf("Scaled(0) must clamp to DefaultConfig, got %+v", Scaled(0))
+	}
+
+	small, _, err := NewNetwork(rand.New(rand.NewSource(1)), 3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Machines[2].Name != "m02" {
+		t.Errorf("3-module network renamed machines: %q", small.Machines[2].Name)
+	}
+	big, _, err := NewNetwork(rand.New(rand.NewSource(1)), 101, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := big.Machines[100].Name; got != "m100" {
+		t.Errorf("101-module network machine 100 named %q, want m100", got)
+	}
+	if got := big.Machines[7].Name; got != "m007" {
+		t.Errorf("101-module network machine 7 named %q, want m007 (uniform padding)", got)
+	}
+
+	// A scaled module really is structurally bigger on average: the
+	// signal and test pools grow with the bounds (the transition count
+	// itself is capped by the decision-tree depth, so it is not the
+	// right measure).
+	sumTests := func(cfg Config) int {
+		_, ms, err := NewNetwork(rand.New(rand.NewSource(5)), 8, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, m := range ms {
+			n += len(m.C.Tests) + len(m.Inputs) + len(m.Outputs)
+		}
+		return n
+	}
+	if base, scaled := sumTests(d), sumTests(Scaled(4)); scaled <= base {
+		t.Errorf("Scaled(4) networks are not bigger: %d vs %d tests+signals", scaled, base)
+	}
+}

@@ -1,0 +1,47 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"polis/internal/pipeline"
+	"polis/internal/randcfsm"
+	"polis/internal/shard"
+)
+
+// BenchmarkShardSynthesize is the randcfsm-driven scale benchmark: a
+// full cold sharded synthesis of 100- and 1000-module networks. On the
+// 1-CPU CI container the shard counts above 1 measure scheduling
+// overhead, not speedup; the modules_per_s metric is the comparable
+// figure across machines.
+func BenchmarkShardSynthesize(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		net, _, err := randcfsm.NewNetwork(rand.New(rand.NewSource(42)), size, randcfsm.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("n=%d/shards=%d", size, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					// A fresh cache per iteration keeps every run cold:
+					// the benchmark measures synthesis, not cache hits.
+					cache, err := pipeline.NewCache("")
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep, err := shard.Run(context.Background(), net, shard.Options{Shards: shards, Cache: cache})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rep.Artifacts) != size {
+						b.Fatalf("%d artifacts, want %d", len(rep.Artifacts), size)
+					}
+				}
+				b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "modules_per_s")
+			})
+		}
+	}
+}

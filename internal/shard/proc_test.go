@@ -1,0 +1,134 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"polis/internal/pipeline"
+	"polis/internal/shard"
+)
+
+// TestMain doubles as the shard worker: RunProcs re-executes this test
+// binary with the "shard-worker-proc" argument, which speaks the
+// Job/Result protocol on stdin/stdout — the same re-exec idiom the
+// real `polisc shard-worker` subcommand uses.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "shard-worker-proc" {
+		if err := shard.Worker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func workerCmd(t *testing.T) []string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []string{exe, "shard-worker-proc"}
+}
+
+// TestRunProcsMatchesInProcess: two worker processes sharing one cache
+// directory produce the same artifacts, in the same order, as the
+// in-process driver — the disk cache really is the shuffle layer. A
+// second process-mode run over the same directory is served entirely
+// from disk.
+func TestRunProcsMatchesInProcess(t *testing.T) {
+	net := testNetwork(t, 11, 8)
+	cache, err := pipeline.NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := shard.Run(context.Background(), net, shard.Options{Shards: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	opt := shard.Options{Shards: 2, CacheDir: dir}
+	procs, err := shard.RunProcs(context.Background(), net, opt, workerCmd(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !procs.Procs {
+		t.Error("report does not mark the run as process-mode")
+	}
+	if len(procs.Artifacts) != len(inproc.Artifacts) {
+		t.Fatalf("%d artifacts, want %d", len(procs.Artifacts), len(inproc.Artifacts))
+	}
+	for i, a := range procs.Artifacts {
+		b := inproc.Artifacts[i]
+		if a.Module != b.Module {
+			t.Fatalf("artifact %d is %s, want %s (order broken)", i, a.Module, b.Module)
+		}
+		if a.C != b.C || a.Listing != b.Listing || a.CodeSize != b.CodeSize ||
+			a.Estimate != b.Estimate || a.Measured != b.Measured || a.Stats != b.Stats {
+			t.Errorf("module %s: process-mode artifact differs from in-process", a.Module)
+		}
+	}
+	if procs.Total.Miss != len(net.Machines) {
+		t.Errorf("cold process run attribution %s, want %d misses", procs.Total.Attribution(), len(net.Machines))
+	}
+	if !strings.Contains(procs.Summary(), "(process)") {
+		t.Errorf("summary does not name the mode: %q", procs.Summary())
+	}
+
+	// Same directory again: every worker lookup is a disk hit published
+	// by the first run's processes.
+	warm, err := shard.RunProcs(context.Background(), net, opt, workerCmd(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Total.Disk != len(net.Machines) || warm.Total.Miss != 0 {
+		t.Errorf("warm process run attribution %s, want %d disk hits", warm.Total.Attribution(), len(net.Machines))
+	}
+	for i := range warm.Artifacts {
+		if warm.Artifacts[i].C != procs.Artifacts[i].C {
+			t.Errorf("module %s: warm artifact differs", warm.Artifacts[i].Module)
+		}
+	}
+}
+
+// TestRunProcsModuleError: a module that fails in the worker comes back
+// as an in-band Result error and the driver aggregates it by name.
+func TestRunProcsModuleError(t *testing.T) {
+	net := badNetwork(t)
+	_, err := shard.RunProcs(context.Background(), net, shard.Options{Shards: 2, CacheDir: t.TempDir()}, workerCmd(t))
+	if err == nil {
+		t.Fatal("want an aggregate error")
+	}
+	if !strings.Contains(err.Error(), "module bad") {
+		t.Errorf("error does not name the failing module: %v", err)
+	}
+}
+
+// TestRunProcsRequiresCacheDir: without a shared directory there is no
+// shuffle layer, so process mode must refuse to start.
+func TestRunProcsRequiresCacheDir(t *testing.T) {
+	net := testNetwork(t, 5, 2)
+	_, err := shard.RunProcs(context.Background(), net, shard.Options{Shards: 2}, workerCmd(t))
+	if err == nil || !strings.Contains(err.Error(), "cache") {
+		t.Fatalf("want a cache-dir error, got %v", err)
+	}
+}
+
+// TestRunProcsRejectsUnwirableOptions: options that do not survive the
+// wire codec must be rejected up front, not silently dropped (they are
+// part of the fingerprint, so dropping them would poison the cache).
+func TestRunProcsRejectsUnwirableOptions(t *testing.T) {
+	net := testNetwork(t, 5, 2)
+	opt := shard.Options{Shards: 1, CacheDir: t.TempDir()}
+	opt.Pipeline.Reduce = true
+	opt.Pipeline.ReduceOpt.MaxIter = 7
+	_, err := shard.RunProcs(context.Background(), net, opt, workerCmd(t))
+	if err == nil || !strings.Contains(err.Error(), "not supported in process mode") {
+		t.Fatalf("want an unsupported-options error, got %v", err)
+	}
+}

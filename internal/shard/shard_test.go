@@ -1,0 +1,207 @@
+package shard_test
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"polis/internal/cfsm"
+	"polis/internal/expr"
+	"polis/internal/pipeline"
+	"polis/internal/randcfsm"
+	"polis/internal/shard"
+)
+
+func testNetwork(t *testing.T, seed int64, n int) *cfsm.Network {
+	t.Helper()
+	net, _, err := randcfsm.NewNetwork(rand.New(rand.NewSource(seed)), n, randcfsm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// badNetwork returns a two-module network whose second module passes
+// validation but fails deterministically in codegen: its assign
+// references a variable no symbol table defines.
+func badNetwork(t *testing.T) *cfsm.Network {
+	t.Helper()
+	net := cfsm.NewNetwork("badnet")
+	a := net.NewSignal("a", true)
+	b := net.NewSignal("b", true)
+	c := net.NewSignal("c", true)
+
+	good := cfsm.New("good")
+	good.AttachInput(a)
+	good.AttachOutput(b)
+	tg := good.Present(a)
+	good.AddTransition([]cfsm.Cond{cfsm.On(tg, 1)}, good.Emit(b))
+
+	bad := cfsm.New("bad")
+	bad.AttachInput(c)
+	v := bad.AddState("s0", 0, 0)
+	tb := bad.Present(c)
+	bad.AddTransition([]cfsm.Cond{cfsm.On(tb, 1)}, bad.Assign(v, expr.Ref("no_such_var")))
+
+	for _, m := range []*cfsm.CFSM{good, bad} {
+		if err := net.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestPartition: both strategies cover every module exactly once,
+// deterministically, and BySize keeps the weight spread within one
+// module of balanced.
+func TestPartition(t *testing.T) {
+	net := testNetwork(t, 3, 17)
+	for _, strat := range []shard.Strategy{shard.ByHash, shard.BySize} {
+		for _, shards := range []int{1, 2, 5, 17, 40} {
+			parts := shard.Partition(net.Machines, shards, strat)
+			if len(parts) != max(shards, 1) {
+				t.Fatalf("%v/%d: %d groups", strat, shards, len(parts))
+			}
+			seen := make(map[int]int)
+			for _, part := range parts {
+				for _, mi := range part {
+					seen[mi]++
+				}
+			}
+			if len(seen) != len(net.Machines) {
+				t.Errorf("%v/%d: %d of %d modules assigned", strat, shards, len(seen), len(net.Machines))
+			}
+			for mi, nt := range seen {
+				if nt != 1 {
+					t.Errorf("%v/%d: module %d assigned %d times", strat, shards, mi, nt)
+				}
+			}
+			again := shard.Partition(net.Machines, shards, strat)
+			for s := range parts {
+				if len(parts[s]) != len(again[s]) {
+					t.Fatalf("%v/%d: partition not deterministic", strat, shards)
+				}
+				for i := range parts[s] {
+					if parts[s][i] != again[s][i] {
+						t.Fatalf("%v/%d: partition not deterministic", strat, shards)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossShardCounts: the same network through the
+// plain pipeline, one shard, and eight shards produces byte-identical
+// artifacts in the same order, with identical merged attribution.
+func TestRunDeterministicAcrossShardCounts(t *testing.T) {
+	net := testNetwork(t, 7, 12)
+	base, err := pipeline.Run(net, pipeline.Options{}, pipeline.Config{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var totals []shard.ShardStat
+	for _, shards := range []int{1, 8} {
+		for _, strat := range []shard.Strategy{shard.ByHash, shard.BySize} {
+			cache, err := pipeline.NewCache("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := shard.Run(context.Background(), net, shard.Options{
+				Shards: shards, Strategy: strat, Cache: cache,
+			})
+			if err != nil {
+				t.Fatalf("shards=%d strat=%v: %v", shards, strat, err)
+			}
+			if len(rep.Artifacts) != len(base) {
+				t.Fatalf("shards=%d: %d artifacts, want %d", shards, len(rep.Artifacts), len(base))
+			}
+			for i, a := range rep.Artifacts {
+				b := base[i]
+				if a.Module != b.Module {
+					t.Fatalf("shards=%d: artifact %d is %s, want %s (order broken)", shards, i, a.Module, b.Module)
+				}
+				if a.C != b.C || a.Listing != b.Listing || a.CodeSize != b.CodeSize ||
+					a.Estimate != b.Estimate || a.Measured != b.Measured || a.Stats != b.Stats {
+					t.Errorf("shards=%d strat=%v: module %s artifact differs from unsharded run", shards, strat, a.Module)
+				}
+			}
+			if rep.Total.Miss != len(base) || rep.Total.Mem != 0 || rep.Total.Disk != 0 || rep.Total.Dedup != 0 {
+				t.Errorf("shards=%d strat=%v: cold attribution %s, want all misses", shards, strat, rep.Total.Attribution())
+			}
+			if got := rep.Collector.Modules(); got != len(base) {
+				t.Errorf("shards=%d: merged collector saw %d modules, want %d", shards, got, len(base))
+			}
+			if _, _, misses := rep.Collector.CacheCounters(); misses != len(base) {
+				t.Errorf("shards=%d: merged collector counted %d misses, want %d", shards, misses, len(base))
+			}
+			if rep.Collector.StageTotal(pipeline.StageReactive) <= 0 {
+				t.Errorf("shards=%d: merged collector lost stage timings", shards)
+			}
+			totals = append(totals, rep.Total)
+		}
+	}
+	for _, tot := range totals[1:] {
+		if tot != totals[0] {
+			t.Errorf("attribution totals differ across shard counts: %+v vs %+v", tot, totals[0])
+		}
+	}
+}
+
+// TestRunSharedCacheWarm: a second sharded run over the same shared
+// cache is served entirely from memory, and the attribution says so.
+func TestRunSharedCacheWarm(t *testing.T) {
+	net := testNetwork(t, 9, 10)
+	cache, err := pipeline.NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := shard.Options{Shards: 4, Cache: cache}
+	cold, err := shard.Run(context.Background(), net, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Total.Miss != 10 {
+		t.Fatalf("cold attribution %s, want 10 misses", cold.Total.Attribution())
+	}
+	warm, err := shard.Run(context.Background(), net, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Total.Mem != 10 || warm.Total.Miss != 0 {
+		t.Fatalf("warm attribution %s, want 10 mem hits", warm.Total.Attribution())
+	}
+	for i := range cold.Artifacts {
+		if warm.Artifacts[i].C != cold.Artifacts[i].C {
+			t.Errorf("module %s: warm artifact differs", cold.Artifacts[i].Module)
+		}
+	}
+	if !strings.Contains(warm.Summary(), "mem 10") {
+		t.Errorf("summary misses the attribution: %q", warm.Summary())
+	}
+}
+
+// TestRunError: a failing module surfaces in the aggregate error with
+// its module attribution; healthy modules are unaffected.
+func TestRunError(t *testing.T) {
+	net := badNetwork(t)
+	_, err := shard.Run(context.Background(), net, shard.Options{Shards: 2})
+	if err == nil {
+		t.Fatal("want an aggregate error")
+	}
+	if !strings.Contains(err.Error(), "module bad") {
+		t.Errorf("error does not name the failing module: %v", err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

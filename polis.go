@@ -72,6 +72,15 @@ func (o *Options) fill() {
 	}
 }
 
+// Pipeline converts Options to the internal pipeline's mirror of the
+// same structure, with defaults filled in. Sharded drivers (see
+// internal/shard and polisc -shards) need it so every worker
+// fingerprints modules exactly as the single-process flow does.
+func (o Options) Pipeline() pipeline.Options {
+	o.fill()
+	return o.pipelineOptions()
+}
+
 // pipelineOptions converts Options to the internal pipeline's mirror
 // of the same structure.
 func (o Options) pipelineOptions() pipeline.Options {
